@@ -1,0 +1,384 @@
+// Benchmark harness: one target per table/figure in the paper's evaluation
+// (see DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured
+// discussion).
+//
+//	BenchmarkE1MemoryFootprint   paper: 24x smaller DP footprint
+//	BenchmarkE2MemoryAccesses    paper: 12x fewer DP accesses
+//	BenchmarkE3CPUAligners       paper: improved GenASM 15.2x vs KSW2, 1.7x vs Edlib, 1.9x vs unimproved
+//	BenchmarkE4GPU               paper: improved GPU 4.1x vs own CPU, 5.9x vs unimproved GPU
+//	BenchmarkA1Ablation          per-improvement contribution
+//	BenchmarkA2WindowSweep       window geometry sensitivity
+//	BenchmarkA3ShortReads        short-read configuration
+//
+// Custom metrics (footprint-bits, accesses, gpu-pairs/s, ...) carry the
+// paper's non-time numbers; ns/op carries the speed comparisons. Run with:
+//
+//	go test -bench=. -benchmem
+package genasm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"genasm/internal/baseline"
+	"genasm/internal/core"
+	"genasm/internal/edlib"
+	"genasm/internal/eval"
+	"genasm/internal/gpu"
+	"genasm/internal/gpualign"
+	"genasm/internal/ksw2"
+	"genasm/internal/stats"
+)
+
+var (
+	workloadOnce sync.Once
+	benchW       *eval.Workload
+)
+
+// benchWorkload builds one shared moderate workload: 1 Mb genome, 40 reads
+// of ~5 kb at 10% error (the paper's pipeline, scaled to bench runtime).
+func benchWorkload(b *testing.B) *eval.Workload {
+	b.Helper()
+	workloadOnce.Do(func() {
+		w, err := eval.BuildWorkload(eval.WorkloadConfig{
+			GenomeLen: 1_000_000, Reads: 40, ReadLen: 5_000, ErrorRate: 0.10, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchW = w
+	})
+	if benchW == nil {
+		b.Fatal("workload failed")
+	}
+	return benchW
+}
+
+func alignAllImproved(b *testing.B, w *eval.Workload, cfg core.Config, c *stats.Counters) {
+	a, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.SetCounters(c)
+	for _, p := range w.Pairs {
+		if _, err := a.AlignEncoded(p.Query, p.Ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func alignAllUnimproved(b *testing.B, w *eval.Workload, c *stats.Counters) {
+	a, err := baseline.New(baseline.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a.SetCounters(c)
+	for _, p := range w.Pairs {
+		if _, err := a.AlignEncoded(p.Query, p.Ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1MemoryFootprint reports the per-window DP footprint (bits) of
+// both GenASM variants and their ratio (paper: 24x).
+func BenchmarkE1MemoryFootprint(b *testing.B) {
+	w := benchWorkload(b)
+	var imp, unimp stats.Counters
+	for i := 0; i < b.N; i++ {
+		imp.Reset()
+		unimp.Reset()
+		alignAllImproved(b, w, core.DefaultConfig(), &imp)
+		alignAllUnimproved(b, w, &unimp)
+	}
+	b.ReportMetric(imp.MeanWindowFootprintBits(), "improved-footprint-bits")
+	b.ReportMetric(unimp.MeanWindowFootprintBits(), "unimproved-footprint-bits")
+	b.ReportMetric(unimp.MeanWindowFootprintBits()/imp.MeanWindowFootprintBits(), "footprint-reduction-x")
+}
+
+// BenchmarkE2MemoryAccesses reports DP-table word accesses and their ratio
+// (paper: 12x).
+func BenchmarkE2MemoryAccesses(b *testing.B) {
+	w := benchWorkload(b)
+	var imp, unimp stats.Counters
+	for i := 0; i < b.N; i++ {
+		imp.Reset()
+		unimp.Reset()
+		alignAllImproved(b, w, core.DefaultConfig(), &imp)
+		alignAllUnimproved(b, w, &unimp)
+	}
+	b.ReportMetric(float64(imp.Accesses()), "improved-accesses")
+	b.ReportMetric(float64(unimp.Accesses()), "unimproved-accesses")
+	b.ReportMetric(float64(unimp.Accesses())/float64(imp.Accesses()), "access-reduction-x")
+}
+
+// BenchmarkE3CPUAligners times every CPU aligner on the shared workload;
+// comparing sub-benchmark ns/op reproduces the paper's CPU speedup table.
+func BenchmarkE3CPUAligners(b *testing.B) {
+	w := benchWorkload(b)
+	b.Run("GenASM-improved", func(b *testing.B) {
+		a, _ := core.New(core.DefaultConfig())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, p := range w.Pairs {
+				if _, err := a.AlignEncoded(p.Query, p.Ref); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportPairs(b, w)
+	})
+	b.Run("GenASM-unimproved", func(b *testing.B) {
+		a, _ := baseline.New(baseline.DefaultConfig())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, p := range w.Pairs {
+				if _, err := a.AlignEncoded(p.Query, p.Ref); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportPairs(b, w)
+	})
+	b.Run("Edlib", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range w.Pairs {
+				if _, _, err := edlib.AlignEncoded(p.Query, p.Ref); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportPairs(b, w)
+	})
+	b.Run("KSW2", func(b *testing.B) {
+		params := ksw2.DefaultParams()
+		for i := 0; i < b.N; i++ {
+			for _, p := range w.Pairs {
+				if _, _, err := ksw2.GlobalAlignEncoded(p.Query, p.Ref, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportPairs(b, w)
+	})
+}
+
+func reportPairs(b *testing.B, w *eval.Workload) {
+	b.ReportMetric(float64(len(w.Pairs))*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+}
+
+// BenchmarkE4GPU reports the simulated-device time of both GPU kernels;
+// the gpu-seconds metrics reproduce the paper's GPU comparison.
+func BenchmarkE4GPU(b *testing.B) {
+	w := benchWorkload(b)
+	for _, algo := range []gpualign.Algorithm{gpualign.Improved, gpualign.Unimproved} {
+		b.Run(algo.String(), func(b *testing.B) {
+			var last gpualign.BatchResult
+			for i := 0; i < b.N; i++ {
+				res, err := gpualign.AlignBatch(w.Pairs, gpualign.DefaultConfig(algo))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Launch.Seconds*1e3, "gpu-ms")
+			b.ReportMetric(last.Launch.Throughput(), "gpu-pairs/s")
+			b.ReportMetric(float64(last.SpilledBlocks), "spilled-blocks")
+		})
+	}
+}
+
+// BenchmarkA1Ablation times each improvement combination (the paper's
+// claim: the improvements are what beat Edlib).
+func BenchmarkA1Ablation(b *testing.B) {
+	w := benchWorkload(b)
+	cases := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"SENE+DENT+ET", core.DefaultConfig()},
+		{"SENE+DENT", func() core.Config { c := core.DefaultConfig(); c.DisableET = true; return c }()},
+		{"SENE+ET", func() core.Config { c := core.DefaultConfig(); c.DisableDENT = true; return c }()},
+		{"SENE", func() core.Config {
+			c := core.DefaultConfig()
+			c.DisableDENT, c.DisableET = true, true
+			return c
+		}()},
+		{"none", func() core.Config {
+			c := core.DefaultConfig()
+			c.DisableSENE, c.DisableDENT, c.DisableET = true, true, true
+			return c
+		}()},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			var ctr stats.Counters
+			for i := 0; i < b.N; i++ {
+				ctr.Reset()
+				alignAllImproved(b, w, tc.cfg, &ctr)
+			}
+			b.ReportMetric(float64(ctr.PeakFootprintBits), "footprint-bits")
+			b.ReportMetric(float64(ctr.Accesses()), "accesses")
+		})
+	}
+}
+
+// BenchmarkA2WindowSweep times the window geometry sweep.
+func BenchmarkA2WindowSweep(b *testing.B) {
+	w := benchWorkload(b)
+	for _, geo := range []struct{ W, O, K int }{
+		{32, 12, 8}, {64, 24, 12}, {64, 32, 12}, {128, 48, 20},
+	} {
+		b.Run(
+			"W"+itoa(geo.W)+"-O"+itoa(geo.O),
+			func(b *testing.B) {
+				cfg := core.Config{W: geo.W, O: geo.O, InitialK: geo.K}
+				dist := 0
+				for i := 0; i < b.N; i++ {
+					a, err := core.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					dist = 0
+					for _, p := range w.Pairs {
+						r, err := a.AlignEncoded(p.Query, p.Ref)
+						if err != nil {
+							b.Fatal(err)
+						}
+						dist += r.Distance
+					}
+				}
+				b.ReportMetric(float64(dist)/float64(w.TotalBases), "distance/base")
+			})
+	}
+}
+
+// BenchmarkA3ShortReads times the aligners on an Illumina-like workload.
+func BenchmarkA3ShortReads(b *testing.B) {
+	w, err := eval.BuildWorkload(eval.WorkloadConfig{
+		GenomeLen: 300_000, Reads: 300, ReadLen: 150, ErrorRate: 0.02,
+		Seed: 11, ShortReads: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("GenASM-improved", func(b *testing.B) {
+		a, _ := core.New(core.DefaultConfig())
+		for i := 0; i < b.N; i++ {
+			for _, p := range w.Pairs {
+				if _, err := a.AlignEncoded(p.Query, p.Ref); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportPairs(b, w)
+	})
+	b.Run("Edlib", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range w.Pairs {
+				if _, _, err := edlib.AlignEncoded(p.Query, p.Ref); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportPairs(b, w)
+	})
+	b.Run("KSW2", func(b *testing.B) {
+		params := ksw2.DefaultParams()
+		for i := 0; i < b.N; i++ {
+			for _, p := range w.Pairs {
+				if _, _, err := ksw2.GlobalAlignEncoded(p.Query, p.Ref, params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportPairs(b, w)
+	})
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkA5Occupancy sweeps the GPU kernel's blocks-per-SM target.
+func BenchmarkA5Occupancy(b *testing.B) {
+	w := benchWorkload(b)
+	for _, blocks := range []int{2, 8, 32} {
+		b.Run("blocksPerSM-"+itoa(blocks), func(b *testing.B) {
+			cfg := gpualign.DefaultConfig(gpualign.Improved)
+			cfg.TargetBlocksPerSM = blocks
+			var last gpualign.BatchResult
+			for i := 0; i < b.N; i++ {
+				res, err := gpualign.AlignBatch(w.Pairs, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Launch.Seconds*1e3, "gpu-ms")
+			b.ReportMetric(float64(last.SpilledBlocks), "spilled-blocks")
+		})
+	}
+}
+
+// BenchmarkA6Devices runs the improved kernel across the device zoo.
+func BenchmarkA6Devices(b *testing.B) {
+	w := benchWorkload(b)
+	for _, dev := range []gpu.DeviceConfig{gpu.A6000(), gpu.A100(), gpu.LaptopGPU()} {
+		b.Run(dev.Name, func(b *testing.B) {
+			cfg := gpualign.DefaultConfig(gpualign.Improved)
+			cfg.Device = dev
+			var last gpualign.BatchResult
+			for i := 0; i < b.N; i++ {
+				res, err := gpualign.AlignBatch(w.Pairs, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.Launch.Seconds*1e3, "gpu-ms")
+		})
+	}
+}
+
+// BenchmarkWindowAlign is the micro-benchmark of the core contribution:
+// one 64-base window alignment at 10% error.
+func BenchmarkWindowAlign(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := make([]byte, 64)
+	for i := range p {
+		p[i] = byte(rng.Intn(4))
+	}
+	tx := make([]byte, 64)
+	copy(tx, p)
+	for i := 0; i < 6; i++ { // ~10% substitutions
+		tx[rng.Intn(64)] = byte(rng.Intn(4))
+	}
+	b.Run("improved", func(b *testing.B) {
+		a, _ := core.New(core.DefaultConfig())
+		for i := 0; i < b.N; i++ {
+			if _, err := a.AlignWindow(p, tx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unimproved", func(b *testing.B) {
+		a, _ := baseline.New(baseline.DefaultConfig())
+		for i := 0; i < b.N; i++ {
+			if _, err := a.AlignWindow(p, tx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

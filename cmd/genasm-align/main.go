@@ -1,0 +1,132 @@
+// Command genasm-align maps and aligns reads against a reference: it finds
+// candidate locations with minimizer chaining and aligns each read to its
+// best candidate with the selected algorithm, emitting PAF-like records:
+//
+//	read  readLen  strand  refName  refStart  refEnd  distance  score  cigar
+//
+// Input formats: FASTA reference, FASTA or FASTQ reads.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"genasm"
+	"genasm/internal/genome"
+	"genasm/internal/readsim"
+)
+
+func main() {
+	var (
+		refPath   = flag.String("ref", "", "reference FASTA (required)")
+		readsPath = flag.String("reads", "", "reads FASTA/FASTQ (required)")
+		algo      = flag.String("algo", "genasm", "algorithm: genasm | genasm-unimproved | edlib | ksw2 | swg")
+		outPath   = flag.String("out", "-", "output path (- = stdout)")
+		allCands  = flag.Bool("all", false, "report every candidate location, not just the best")
+	)
+	flag.Parse()
+	if *refPath == "" || *readsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	out := os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		die(err)
+		defer f.Close()
+		out = f
+	}
+	die(run(*refPath, *readsPath, *algo, *allCands, out))
+}
+
+// run executes the map-and-align pipeline; factored out of main so the
+// whole CLI path is testable.
+func run(refPath, readsPath, algo string, allCands bool, out io.Writer) error {
+	refFile, err := os.Open(refPath)
+	if err != nil {
+		return err
+	}
+	refs, err := genome.ReadFASTA(refFile)
+	refFile.Close()
+	if err != nil {
+		return err
+	}
+	if len(refs) == 0 {
+		return fmt.Errorf("no sequences in %s", refPath)
+	}
+	reads, err := loadReads(readsPath)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	aligner, err := genasm.New(genasm.Config{Algorithm: genasm.Algorithm(algo)})
+	if err != nil {
+		return err
+	}
+	for _, ref := range refs {
+		mapper, err := genasm.NewMapper(ref.Seq)
+		if err != nil {
+			return err
+		}
+		for _, rd := range reads {
+			cands := mapper.Candidates(rd.Seq)
+			if len(cands) == 0 {
+				fmt.Fprintf(w, "%s\t%d\t*\tunmapped\n", rd.Name, len(rd.Seq))
+				continue
+			}
+			n := 1
+			if allCands {
+				n = len(cands)
+			}
+			for _, c := range cands[:n] {
+				query := rd.Seq
+				strand := "+"
+				if c.RevComp {
+					query = genasm.ReverseComplement(query)
+					strand = "-"
+				}
+				res, err := aligner.Align(query, ref.Seq[c.Start:c.End])
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+					rd.Name, len(rd.Seq), strand, ref.Name,
+					c.Start, c.Start+res.RefConsumed, res.Distance, res.Score, res.Cigar)
+			}
+		}
+	}
+	return w.Flush()
+}
+
+func loadReads(path string) ([]readsim.Read, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".fq") || strings.HasSuffix(path, ".fastq") {
+		return readsim.ReadFASTQ(f)
+	}
+	recs, err := genome.ReadFASTA(f)
+	if err != nil {
+		return nil, err
+	}
+	reads := make([]readsim.Read, len(recs))
+	for i, r := range recs {
+		reads[i] = readsim.Read{Name: r.Name, Seq: r.Seq}
+	}
+	return reads, nil
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genasm-align:", err)
+		os.Exit(1)
+	}
+}

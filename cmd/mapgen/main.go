@@ -1,0 +1,90 @@
+// Command mapgen generates candidate mapping locations for reads against a
+// reference with minimizer seeding and chaining (minimap2-like, -P
+// semantics: all chains). Output is a TSV:
+//
+//	read  strand  refStart  refEnd  chainScore
+//
+// These are the (read, reference region) pairs the paper's aligner
+// comparison consumes.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"genasm"
+	"genasm/internal/genome"
+	"genasm/internal/readsim"
+)
+
+func main() {
+	var (
+		refPath   = flag.String("ref", "", "reference FASTA (required)")
+		readsPath = flag.String("reads", "", "reads FASTA/FASTQ (required)")
+		outPath   = flag.String("out", "-", "output TSV (- = stdout)")
+	)
+	flag.Parse()
+	if *refPath == "" || *readsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rf, err := os.Open(*refPath)
+	die(err)
+	refs, err := genome.ReadFASTA(rf)
+	rf.Close()
+	die(err)
+	if len(refs) == 0 {
+		die(fmt.Errorf("no sequences in %s", *refPath))
+	}
+
+	var reads []readsim.Read
+	f, err := os.Open(*readsPath)
+	die(err)
+	if strings.HasSuffix(*readsPath, ".fq") || strings.HasSuffix(*readsPath, ".fastq") {
+		reads, err = readsim.ReadFASTQ(f)
+	} else {
+		var recs []genome.Record
+		recs, err = genome.ReadFASTA(f)
+		for _, r := range recs {
+			reads = append(reads, readsim.Read{Name: r.Name, Seq: r.Seq})
+		}
+	}
+	f.Close()
+	die(err)
+
+	out := os.Stdout
+	if *outPath != "-" {
+		of, err := os.Create(*outPath)
+		die(err)
+		defer of.Close()
+		out = of
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+
+	mapper, err := genasm.NewMapper(refs[0].Seq)
+	die(err)
+	total := 0
+	for _, rd := range reads {
+		for _, c := range mapper.Candidates(rd.Seq) {
+			strand := "+"
+			if c.RevComp {
+				strand = "-"
+			}
+			fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%.0f\n", rd.Name, strand, c.Start, c.End, c.Score)
+			total++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "mapgen: %d candidate locations for %d reads\n", total, len(reads))
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mapgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// Command readsim simulates long or short reads from a FASTA reference (or
+// from a freshly generated synthetic genome) with the PBSIM2-like error
+// model, writing FASTQ with ground-truth read names
+// (read_<i>_<pos>_<span>_<strand>).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"genasm/internal/genome"
+	"genasm/internal/readsim"
+)
+
+func main() {
+	var (
+		refPath   = flag.String("ref", "", "reference FASTA (omit to generate a synthetic genome)")
+		genomeLen = flag.Int("genome", 1_000_000, "synthetic genome length when -ref is omitted")
+		n         = flag.Int("n", 500, "number of reads")
+		meanLen   = flag.Int("len", 10_000, "mean read length")
+		errRate   = flag.Float64("error", 0.10, "mean error rate")
+		profile   = flag.String("profile", "pacbio", "error profile: pacbio | illumina")
+		seed      = flag.Int64("seed", 1, "random seed")
+		outPath   = flag.String("out", "-", "output FASTQ (- = stdout)")
+		refOut    = flag.String("ref-out", "", "also write the (possibly generated) reference FASTA here")
+	)
+	flag.Parse()
+
+	var ref genome.Record
+	if *refPath != "" {
+		f, err := os.Open(*refPath)
+		die(err)
+		recs, err := genome.ReadFASTA(f)
+		f.Close()
+		die(err)
+		if len(recs) == 0 {
+			die(fmt.Errorf("no sequences in %s", *refPath))
+		}
+		ref = recs[0]
+	} else {
+		cfg := genome.DefaultConfig(*genomeLen)
+		cfg.Seed = *seed
+		ref = genome.Generate(cfg)
+	}
+	if *refOut != "" {
+		f, err := os.Create(*refOut)
+		die(err)
+		die(genome.WriteFASTA(f, []genome.Record{ref}))
+		die(f.Close())
+	}
+
+	var prof readsim.Profile
+	switch *profile {
+	case "pacbio":
+		prof = readsim.PacBioCLR()
+	case "illumina":
+		prof = readsim.Illumina()
+	default:
+		die(fmt.Errorf("unknown profile %q", *profile))
+	}
+	prof.MeanLength = *meanLen
+	if *profile == "pacbio" {
+		prof.LengthSD = *meanLen / 10
+	}
+	prof.ErrorRate = *errRate
+
+	reads, err := readsim.Simulate(ref.Seq, *n, prof, *seed)
+	die(err)
+
+	out := os.Stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		die(err)
+		defer f.Close()
+		out = f
+	}
+	die(readsim.WriteFASTQ(out, reads))
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "readsim:", err)
+		os.Exit(1)
+	}
+}

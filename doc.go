@@ -1,0 +1,34 @@
+// Package genasm is a genomic sequence alignment library built around an
+// improved GenASM algorithm (Lindegger et al., "Algorithmic Improvement and
+// GPU Acceleration of the GenASM Algorithm", 2022).
+//
+// GenASM is a Bitap-based approximate string matching algorithm with
+// fine-grained bit-level parallelism. This library implements the paper's
+// three algorithmic improvements — entry compression (store only the
+// bitwise AND of the DP edge bitvectors), early termination of error-level
+// rows, and discarding of traceback-unreachable entries — which shrink the
+// DP working set by an order of magnitude and let whole alignment windows
+// live in on-chip memory.
+//
+// The library ships:
+//
+//   - the improved GenASM aligner (Algorithm GenASM) for short and long
+//     reads, plus the unimproved MICRO'20 formulation (GenASMUnimproved)
+//     and reproductions of Edlib, KSW2 and Smith-Waterman-Gotoh as
+//     baselines, all behind one Aligner interface;
+//   - a batch API, and a GPU batch API that executes the same kernels on a
+//     simulated SIMT device (an NVIDIA A6000 model) with a shared-memory /
+//     L2 / DRAM cost model;
+//   - workload tooling: synthetic genome generation, a PBSIM2-like read
+//     simulator, and a minimap2-like minimizer/chaining candidate
+//     generator.
+//
+// Quick start:
+//
+//	a, _ := genasm.New(genasm.Config{Algorithm: genasm.GenASM})
+//	res, _ := a.Align([]byte("ACGTACGT..."), []byte("ACGTTACGT..."))
+//	fmt.Println(res.Distance, res.Cigar)
+//
+// See examples/ for complete programs and DESIGN.md / EXPERIMENTS.md for
+// the paper-reproduction methodology.
+package genasm

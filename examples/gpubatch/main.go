@@ -1,0 +1,64 @@
+// Gpubatch runs the paper's GPU experiment on the simulated A6000: the
+// same candidate pairs aligned by the improved and unimproved GenASM GPU
+// kernels, showing the shared-memory-fit mechanism behind the speedup.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"genasm"
+)
+
+func main() {
+	ref := genasm.GenerateGenome(800_000, 3)
+	reads, err := genasm.SimulateLongReads(ref, 40, 10_000, 0.10, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapper, err := genasm.NewMapper(ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pairs []genasm.Pair
+	for _, r := range reads {
+		for _, c := range mapper.Candidates(r.Seq) {
+			q := r.Seq
+			if c.RevComp {
+				q = genasm.ReverseComplement(q)
+			}
+			pairs = append(pairs, genasm.Pair{Query: q, Ref: ref[c.Start:c.End]})
+		}
+	}
+	fmt.Printf("launching %d alignment blocks on the device model...\n\n", len(pairs))
+
+	impRes, imp, err := genasm.AlignBatchGPU(genasm.GPUConfig{Algorithm: genasm.GenASM}, pairs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	unimpRes, unimp, err := genasm.AlignBatchGPU(genasm.GPUConfig{Algorithm: genasm.GenASMUnimproved}, pairs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The improvements change memory behaviour, never answers.
+	for i := range impRes {
+		if impRes[i].Distance != unimpRes[i].Distance {
+			log.Fatalf("pair %d: improved %d != unimproved %d",
+				i, impRes[i].Distance, unimpRes[i].Distance)
+		}
+	}
+
+	show := func(name string, st genasm.GPUStats) {
+		fmt.Printf("%-22s %10v  %8.0f pairs/s  blocks/SM=%d  shared-fit=%d  spilled=%d\n",
+			name, time.Duration(st.Seconds*float64(time.Second)).Round(time.Microsecond),
+			st.PairsPerSecond, st.BlocksPerSM, st.SharedBlocks, st.SpilledBlocks)
+	}
+	show("improved kernel", imp)
+	show("unimproved kernel", unimp)
+	fmt.Printf("\nimproved-vs-unimproved GPU speedup: %.1fx (paper: 5.9x)\n",
+		unimp.Seconds/imp.Seconds)
+	fmt.Println("mechanism: the improved DP working set fits each block's shared-memory")
+	fmt.Println("allocation; the unimproved working set spills to the L2/DRAM hierarchy.")
+}

@@ -1,0 +1,82 @@
+// Longread runs the paper's full pipeline at laptop scale: synthesize a
+// repeat-bearing genome, simulate PacBio-like 10 kb reads (PBSIM2-style
+// error model), find candidate locations by minimizer chaining (minimap2
+// -P style), and align every (read, candidate) pair with improved GenASM.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"genasm"
+)
+
+func main() {
+	const (
+		genomeLen = 1_000_000
+		nReads    = 50
+		readLen   = 10_000
+		errorRate = 0.10
+	)
+
+	fmt.Printf("generating %d bp genome...\n", genomeLen)
+	ref := genasm.GenerateGenome(genomeLen, 42)
+
+	fmt.Printf("simulating %d reads of ~%d bp at %.0f%% error...\n", nReads, readLen, errorRate*100)
+	reads, err := genasm.SimulateLongReads(ref, nReads, readLen, errorRate, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("indexing reference and locating candidates...")
+	mapper, err := genasm.NewMapper(ref)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Align each read at its best candidate location (its primary
+	// alignment). The eval harness (cmd/genasm-eval) additionally aligns
+	// every secondary chain, as the paper's -P extraction does.
+	var pairs []genasm.Pair
+	var truth []int // ground-truth error count per pair
+	for _, r := range reads {
+		cands := mapper.Candidates(r.Seq)
+		if len(cands) == 0 {
+			continue
+		}
+		c := cands[0]
+		q := r.Seq
+		if c.RevComp {
+			q = genasm.ReverseComplement(q)
+		}
+		pairs = append(pairs, genasm.Pair{Query: q, Ref: ref[c.Start:c.End]})
+		truth = append(truth, r.Errors)
+	}
+	fmt.Printf("aligning %d primary candidate pairs with improved GenASM...\n", len(pairs))
+
+	start := time.Now()
+	results, err := genasm.AlignBatch(genasm.Config{Algorithm: genasm.GenASM}, pairs, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	var bases, dist int
+	good := 0
+	for i, res := range results {
+		bases += len(pairs[i].Query)
+		dist += res.Distance
+		// The alignment cost should be close to the number of
+		// simulated errors.
+		if res.Distance <= truth[i]+truth[i]/4+16 {
+			good++
+		}
+	}
+	fmt.Printf("\naligned %d pairs (%d bases) in %v  (%.0f pairs/s, %.1f Mbases/s)\n",
+		len(pairs), bases, elapsed.Round(time.Millisecond),
+		float64(len(pairs))/elapsed.Seconds(), float64(bases)/elapsed.Seconds()/1e6)
+	fmt.Printf("mean distance per base: %.4f (simulated error rate %.2f)\n",
+		float64(dist)/float64(bases), errorRate)
+	fmt.Printf("alignments within tolerance of ground truth: %d/%d\n", good, len(pairs))
+}

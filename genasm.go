@@ -1,0 +1,251 @@
+package genasm
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"genasm/internal/baseline"
+	"genasm/internal/cigar"
+	"genasm/internal/core"
+	"genasm/internal/dna"
+	"genasm/internal/edlib"
+	"genasm/internal/ksw2"
+	"genasm/internal/swg"
+)
+
+// Algorithm selects an aligner implementation.
+type Algorithm string
+
+const (
+	// GenASM is the paper's improved GenASM (default).
+	GenASM Algorithm = "genasm"
+	// GenASMUnimproved is MICRO'20 GenASM without the improvements.
+	GenASMUnimproved Algorithm = "genasm-unimproved"
+	// Edlib is the Myers bit-parallel global edit-distance aligner.
+	Edlib Algorithm = "edlib"
+	// KSW2 is the banded global affine-gap aligner.
+	KSW2 Algorithm = "ksw2"
+	// SWG is the quadratic Smith-Waterman-Gotoh reference.
+	SWG Algorithm = "swg"
+)
+
+// Algorithms lists every supported Algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{GenASM, GenASMUnimproved, Edlib, KSW2, SWG}
+}
+
+// Config configures an Aligner. The zero value selects improved GenASM
+// with the paper's parameters (W=64, O=24, k=12).
+type Config struct {
+	Algorithm Algorithm
+	// GenASM window geometry (GenASM algorithms only). Zero values take
+	// the paper defaults.
+	WindowSize int
+	Overlap    int
+	ErrorK     int
+	// Improvement toggles for ablation (improved GenASM only).
+	DisableSENE, DisableDENT, DisableET bool
+	// Affine-gap scoring (KSW2 and SWG only): match bonus, mismatch /
+	// gap-open / gap-extend penalties. Zero takes minimap2 defaults
+	// (2/4/4/2).
+	MatchScore, MismatchPenalty, GapOpen, GapExtend int
+	// BandWidth bounds the KSW2 band (0 = minimap2's 500).
+	BandWidth int
+}
+
+func (c *Config) fillDefaults() {
+	if c.Algorithm == "" {
+		c.Algorithm = GenASM
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 64
+	}
+	if c.Overlap == 0 && c.WindowSize == 64 {
+		c.Overlap = 24
+	}
+	if c.ErrorK == 0 {
+		c.ErrorK = min(12, c.WindowSize)
+	}
+	if c.MatchScore == 0 {
+		c.MatchScore = 2
+	}
+	if c.MismatchPenalty == 0 {
+		c.MismatchPenalty = 4
+	}
+	if c.GapOpen == 0 {
+		c.GapOpen = 4
+	}
+	if c.GapExtend == 0 {
+		c.GapExtend = 2
+	}
+	if c.BandWidth == 0 {
+		c.BandWidth = 500
+	}
+}
+
+func (c Config) penalties() cigar.AffinePenalties {
+	return cigar.AffinePenalties{A: c.MatchScore, B: c.MismatchPenalty, Q: c.GapOpen, E: c.GapExtend}
+}
+
+// Result is one alignment.
+type Result struct {
+	// Distance is the unit-cost edit distance realized by the alignment.
+	Distance int
+	// Score is the alignment's affine-gap score under the configured
+	// penalties (higher is better).
+	Score int
+	// Cigar is the extended CIGAR string (=, X, I, D operations).
+	Cigar string
+	// RefConsumed is how many reference bases the alignment covers; the
+	// GenASM algorithms treat trailing reference as candidate-region
+	// slack, the global aligners always consume everything.
+	RefConsumed int
+}
+
+// Aligner aligns query sequences against candidate reference regions.
+// An Aligner is NOT safe for concurrent use (the GenASM kernels keep
+// per-aligner scratch); create one per goroutine, or use AlignBatch.
+type Aligner struct {
+	cfg  Config
+	impl func(q, t []byte) (Result, error)
+}
+
+// New builds an Aligner for cfg.
+func New(cfg Config) (*Aligner, error) {
+	cfg.fillDefaults()
+	a := &Aligner{cfg: cfg}
+	pen := cfg.penalties()
+	switch cfg.Algorithm {
+	case GenASM:
+		g, err := core.New(core.Config{
+			W: cfg.WindowSize, O: cfg.Overlap, InitialK: cfg.ErrorK,
+			DisableSENE: cfg.DisableSENE, DisableDENT: cfg.DisableDENT, DisableET: cfg.DisableET,
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.impl = func(q, t []byte) (Result, error) {
+			r, err := g.AlignEncoded(q, t)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Distance: r.Distance, Score: r.Cigar.AffineScore(pen),
+				Cigar: r.Cigar.String(), RefConsumed: r.RefConsumed}, nil
+		}
+	case GenASMUnimproved:
+		if cfg.DisableSENE || cfg.DisableDENT || cfg.DisableET {
+			return nil, errors.New("genasm: improvement toggles apply to the improved algorithm only")
+		}
+		g, err := baseline.New(baseline.Config{W: cfg.WindowSize, O: cfg.Overlap, InitialK: cfg.ErrorK})
+		if err != nil {
+			return nil, err
+		}
+		a.impl = func(q, t []byte) (Result, error) {
+			r, err := g.AlignEncoded(q, t)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Distance: r.Distance, Score: r.Cigar.AffineScore(pen),
+				Cigar: r.Cigar.String(), RefConsumed: r.RefConsumed}, nil
+		}
+	case Edlib:
+		a.impl = func(q, t []byte) (Result, error) {
+			d, cg, err := edlib.AlignEncoded(q, t)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Distance: d, Score: cg.AffineScore(pen),
+				Cigar: cg.String(), RefConsumed: len(t)}, nil
+		}
+	case KSW2:
+		p := ksw2.Params{Penalties: pen, BandWidth: cfg.BandWidth}
+		a.impl = func(q, t []byte) (Result, error) {
+			sc, cg, err := ksw2.GlobalAlignEncoded(q, t, p)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Distance: cg.EditCost(), Score: sc,
+				Cigar: cg.String(), RefConsumed: len(t)}, nil
+		}
+	case SWG:
+		a.impl = func(q, t []byte) (Result, error) {
+			sc, cg := swg.AffineAlign(dna.DecodeSeq(q), dna.DecodeSeq(t), pen)
+			return Result{Distance: cg.EditCost(), Score: sc,
+				Cigar: cg.String(), RefConsumed: len(t)}, nil
+		}
+	default:
+		return nil, fmt.Errorf("genasm: unknown algorithm %q", cfg.Algorithm)
+	}
+	return a, nil
+}
+
+// Config returns the aligner's (default-filled) configuration.
+func (a *Aligner) Config() Config { return a.cfg }
+
+// Align aligns query against the candidate reference region ref. Both are
+// raw ASCII sequences; non-ACGT characters never match anything.
+func (a *Aligner) Align(query, ref []byte) (Result, error) {
+	return a.impl(dna.EncodeSeq(query), dna.EncodeSeq(ref))
+}
+
+// Pair is one batch alignment job.
+type Pair struct {
+	Query, Ref []byte
+}
+
+// AlignBatch aligns every pair with `threads` goroutines (0 = GOMAXPROCS),
+// creating one Aligner per goroutine. Results are index-aligned with pairs.
+func AlignBatch(cfg Config, pairs []Pair, threads int) ([]Result, error) {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > len(pairs) && len(pairs) > 0 {
+		threads = len(pairs)
+	}
+	if _, err := New(cfg); err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(pairs))
+	jobs := make(chan int, len(pairs))
+	for i := range pairs {
+		jobs <- i
+	}
+	close(jobs)
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			al, err := New(cfg)
+			if err != nil {
+				errs[t] = err
+				return
+			}
+			for i := range jobs {
+				r, err := al.Align(pairs[i].Query, pairs[i].Ref)
+				if err != nil {
+					errs[t] = fmt.Errorf("pair %d: %w", i, err)
+					return
+				}
+				results[i] = r
+			}
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

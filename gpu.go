@@ -1,0 +1,88 @@
+package genasm
+
+import (
+	"fmt"
+
+	"genasm/internal/dna"
+	"genasm/internal/gpu"
+	"genasm/internal/gpualign"
+)
+
+// GPUConfig configures a batch launch on the simulated GPU.
+type GPUConfig struct {
+	// Algorithm must be GenASM or GenASMUnimproved (empty = GenASM).
+	Algorithm Algorithm
+	// Window geometry, as in Config (zero = paper defaults).
+	WindowSize, Overlap, ErrorK int
+	// TargetBlocksPerSM trades occupancy against per-block shared
+	// memory (default 8, as a CUDA launch bound would).
+	TargetBlocksPerSM int
+}
+
+// GPUStats reports the simulated launch.
+type GPUStats struct {
+	Device         string
+	Seconds        float64
+	MakespanCycles uint64
+	BlocksPerSM    int
+	// SharedBlocks / SpilledBlocks count alignments whose DP working set
+	// did / did not fit the block's shared-memory allocation.
+	SharedBlocks, SpilledBlocks int
+	// PairsPerSecond is the modelled device throughput.
+	PairsPerSecond float64
+}
+
+// AlignBatchGPU aligns every pair on a simulated NVIDIA A6000. Functional
+// results are bit-identical to the corresponding CPU algorithm; timing
+// comes from the SIMT cost model (see internal/gpu).
+func AlignBatchGPU(cfg GPUConfig, pairs []Pair) ([]Result, GPUStats, error) {
+	gcfg := gpualign.DefaultConfig(gpualign.Improved)
+	switch cfg.Algorithm {
+	case "", GenASM:
+	case GenASMUnimproved:
+		gcfg.Algorithm = gpualign.Unimproved
+	default:
+		return nil, GPUStats{}, fmt.Errorf("genasm: algorithm %q has no GPU kernel", cfg.Algorithm)
+	}
+	if cfg.WindowSize != 0 {
+		gcfg.W = cfg.WindowSize
+		gcfg.O = cfg.Overlap
+	}
+	if cfg.ErrorK != 0 {
+		gcfg.InitialK = cfg.ErrorK
+	}
+	if cfg.TargetBlocksPerSM != 0 {
+		gcfg.TargetBlocksPerSM = cfg.TargetBlocksPerSM
+	}
+	gcfg.Device = gpu.A6000()
+
+	jobs := make([]gpualign.Pair, len(pairs))
+	for i, p := range pairs {
+		jobs[i] = gpualign.Pair{Query: dna.EncodeSeq(p.Query), Ref: dna.EncodeSeq(p.Ref)}
+	}
+	batch, err := gpualign.AlignBatch(jobs, gcfg)
+	if err != nil {
+		return nil, GPUStats{}, err
+	}
+	results := make([]Result, len(pairs))
+	var c Config
+	c.fillDefaults()
+	for i, r := range batch.Results {
+		results[i] = Result{
+			Distance:    r.Distance,
+			Score:       r.Cigar.AffineScore(c.penalties()),
+			Cigar:       r.Cigar.String(),
+			RefConsumed: r.RefConsumed,
+		}
+	}
+	st := GPUStats{
+		Device:         batch.Launch.Device,
+		Seconds:        batch.Launch.Seconds,
+		MakespanCycles: batch.Launch.MakespanCycles,
+		BlocksPerSM:    batch.Launch.BlocksPerSM,
+		SharedBlocks:   batch.SharedBlocks,
+		SpilledBlocks:  batch.SpilledBlocks,
+		PairsPerSecond: batch.Launch.Throughput(),
+	}
+	return results, st, nil
+}

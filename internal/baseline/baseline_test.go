@@ -1,0 +1,182 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"genasm/internal/core"
+	"genasm/internal/dna"
+	"genasm/internal/stats"
+	"genasm/internal/swg"
+)
+
+func randCodes(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(4))
+	}
+	return s
+}
+
+func mutateCodes(rng *rand.Rand, s []byte, rate float64) []byte {
+	out := make([]byte, 0, len(s)+8)
+	for _, b := range s {
+		r := rng.Float64()
+		switch {
+		case r < rate/3:
+			out = append(out, byte(rng.Intn(4)))
+		case r < 2*rate/3:
+		case r < rate:
+			out = append(out, b, byte(rng.Intn(4)))
+		default:
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{W: 0, O: 0, InitialK: 1},
+		{W: 65, O: 0, InitialK: 1},
+		{W: 64, O: 64, InitialK: 1},
+		{W: 64, O: 0, InitialK: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestWindowMatchesGoldStandard(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 300; iter++ {
+		m := 1 + rng.Intn(64)
+		p := randCodes(rng, m)
+		var tx []byte
+		if iter%2 == 0 {
+			tx = randCodes(rng, rng.Intn(80))
+		} else {
+			tx = mutateCodes(rng, p, 0.25)
+		}
+		wr, err := a.AlignWindow(p, tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantD, _, _ := swg.PrefixAlign(dna.DecodeSeq(p), dna.DecodeSeq(tx))
+		if wr.Distance != wantD {
+			t.Fatalf("iter %d: distance %d want %d", iter, wr.Distance, wantD)
+		}
+		if err := wr.Cigar.Check(dna.DecodeSeq(p), dna.DecodeSeq(tx[:wr.TextUsed])); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+// The decisive cross-validation: the independent unimproved implementation
+// must produce byte-identical alignments to the improved one.
+func TestBaselineMatchesImprovedExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 300; iter++ {
+		m := 1 + rng.Intn(64)
+		p := randCodes(rng, m)
+		tx := mutateCodes(rng, p, 0.3)
+		if len(tx) > 80 {
+			tx = tx[:80]
+		}
+		got, err := b.AlignWindow(p, tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := imp.AlignWindow(p, tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Distance != want.Distance || got.TextUsed != want.TextUsed ||
+			got.Cigar.String() != want.Cigar.String() {
+			t.Fatalf("iter %d: baseline %d %q vs improved %d %q",
+				iter, got.Distance, got.Cigar, want.Distance, want.Cigar)
+		}
+	}
+}
+
+func TestBaselinePipelineMatchesImproved(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b, _ := New(DefaultConfig())
+	imp, _ := core.New(core.DefaultConfig())
+	for iter := 0; iter < 10; iter++ {
+		origin := randCodes(rng, 600)
+		read := mutateCodes(rng, origin, 0.1)
+		region := append(append([]byte{}, origin...), randCodes(rng, 80)...)
+		got, err := b.AlignEncoded(read, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := imp.AlignEncoded(read, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Distance != want.Distance || got.Cigar.String() != want.Cigar.String() {
+			t.Fatalf("iter %d: pipelines diverge: %d vs %d", iter, got.Distance, want.Distance)
+		}
+	}
+}
+
+func TestWideWindowRejected(t *testing.T) {
+	a, _ := New(DefaultConfig())
+	if _, err := a.AlignWindow(make([]byte, 65), nil); err == nil {
+		t.Fatal("accepted 65-wide window")
+	}
+}
+
+func TestCountersCountEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, _ := New(DefaultConfig())
+	var c stats.Counters
+	a.SetCounters(&c)
+	p := randCodes(rng, 64)
+	tx := mutateCodes(rng, p, 0.1)
+	if len(tx) > 64 {
+		tx = tx[:64]
+	}
+	if _, err := a.AlignWindow(p, tx); err != nil {
+		t.Fatal(err)
+	}
+	k := DefaultConfig().InitialK
+	wantWrites := uint64(4 * (k + 1) * len(tx))
+	if c.TableWrites != wantWrites {
+		t.Fatalf("writes %d want %d", c.TableWrites, wantWrites)
+	}
+	if c.PeakFootprintBits != wantWrites*64 {
+		t.Fatalf("footprint %d want %d", c.PeakFootprintBits, wantWrites*64)
+	}
+	if c.TableReads == 0 {
+		t.Fatal("traceback read nothing")
+	}
+	if c.RowsSkipped != 0 {
+		t.Fatal("baseline must not skip rows")
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	a, _ := New(DefaultConfig())
+	wr, err := a.AlignWindow(nil, []byte{0, 1, 2})
+	if err != nil || wr.Distance != 0 || wr.TextUsed != 0 {
+		t.Fatalf("%+v err=%v", wr, err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package bitvec provides fixed-width multi-word bitvectors for the
+// bit-parallel alignment kernels. GenASM's fast path uses plain uint64
+// windows (W <= 64); this package backs the W > 64 extension path, where a
+// window's automaton state spans several machine words.
+//
+// Vectors are little-endian: bit i lives in word i/64 at position i%64.
+// All operations treat vectors as exactly Width bits wide; bits above Width
+// in the last word are kept zero as an invariant (normalized form), except
+// for the 0-active GenASM convention helpers which keep them one. To stay
+// allocation-free in kernels, destination receivers are provided explicitly.
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// V is a fixed-width bitvector. The zero value is unusable; create vectors
+// with New and keep Width consistent across operands.
+type V struct {
+	Width int
+	W     []uint64
+}
+
+// Words returns the number of 64-bit words needed for width bits.
+func Words(width int) int { return (width + 63) / 64 }
+
+// New returns a zeroed vector of the given width.
+func New(width int) V {
+	if width <= 0 {
+		panic(fmt.Sprintf("bitvec: invalid width %d", width))
+	}
+	return V{Width: width, W: make([]uint64, Words(width))}
+}
+
+// Clone returns an independent copy of v.
+func (v V) Clone() V {
+	w := make([]uint64, len(v.W))
+	copy(w, v.W)
+	return V{Width: v.Width, W: w}
+}
+
+// Copy copies src into v (widths must match).
+func (v V) Copy(src V) {
+	if v.Width != src.Width {
+		panic("bitvec: width mismatch")
+	}
+	copy(v.W, src.W)
+}
+
+// mask returns the valid-bit mask for the last word.
+func (v V) mask() uint64 {
+	r := uint(v.Width % 64)
+	if r == 0 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << r) - 1
+}
+
+// Normalize clears bits above Width in the last word.
+func (v V) Normalize() {
+	v.W[len(v.W)-1] &= v.mask()
+}
+
+// Fill sets every bit in the vector (within Width) when b is true, or clears
+// all bits when b is false.
+func (v V) Fill(b bool) {
+	var x uint64
+	if b {
+		x = ^uint64(0)
+	}
+	for i := range v.W {
+		v.W[i] = x
+	}
+	if b {
+		v.Normalize()
+	}
+}
+
+// Bit returns bit i (0 <= i < Width).
+func (v V) Bit(i int) uint {
+	return uint(v.W[i/64]>>(uint(i)%64)) & 1
+}
+
+// SetBit sets bit i to b.
+func (v V) SetBit(i int, b uint) {
+	w, s := i/64, uint(i)%64
+	v.W[w] = (v.W[w] &^ (uint64(1) << s)) | (uint64(b&1) << s)
+}
+
+// Shl1 sets v = src << 1 within Width, shifting in carry (0 or 1) at bit 0.
+// Bits shifted beyond Width are discarded. v and src may alias.
+func (v V) Shl1(src V, carry uint64) {
+	if v.Width != src.Width {
+		panic("bitvec: width mismatch")
+	}
+	c := carry & 1
+	for i := 0; i < len(src.W); i++ {
+		hi := src.W[i] >> 63
+		v.W[i] = src.W[i]<<1 | c
+		c = hi
+	}
+	v.Normalize()
+}
+
+// And sets v = a & b. Receivers may alias operands.
+func (v V) And(a, b V) {
+	for i := range v.W {
+		v.W[i] = a.W[i] & b.W[i]
+	}
+}
+
+// And3 sets v = a & b & c.
+func (v V) And3(a, b, c V) {
+	for i := range v.W {
+		v.W[i] = a.W[i] & b.W[i] & c.W[i]
+	}
+}
+
+// And4 sets v = a & b & c & d.
+func (v V) And4(a, b, c, d V) {
+	for i := range v.W {
+		v.W[i] = a.W[i] & b.W[i] & c.W[i] & d.W[i]
+	}
+}
+
+// Or sets v = a | b.
+func (v V) Or(a, b V) {
+	for i := range v.W {
+		v.W[i] = a.W[i] | b.W[i]
+	}
+}
+
+// OrWord ors word w into word index wi.
+func (v V) OrWord(wi int, w uint64) {
+	v.W[wi] |= w
+	v.Normalize()
+}
+
+// Equal reports whether v and o have identical width and bits.
+func (v V) Equal(o V) bool {
+	if v.Width != o.Width {
+		return false
+	}
+	for i := range v.W {
+		if v.W[i] != o.W[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OnesCount returns the number of set bits within Width.
+func (v V) OnesCount() int {
+	n := 0
+	last := len(v.W) - 1
+	for i, w := range v.W {
+		if i == last {
+			w &= v.mask()
+		}
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// String renders the vector MSB-first (bit Width-1 leftmost), matching how
+// the GenASM papers draw automaton states.
+func (v V) String() string {
+	var b strings.Builder
+	for i := v.Width - 1; i >= 0; i-- {
+		if v.Bit(i) == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Slice extracts bits [lo, lo+n) of v into a uint64 (n <= 64). Bits outside
+// [0, Width) read as the pad value (0 or 1); the GenASM banded storage uses
+// pad=1 so out-of-range automaton states read as inactive.
+func (v V) Slice(lo, n int, pad uint) uint64 {
+	if n <= 0 || n > 64 {
+		panic(fmt.Sprintf("bitvec: invalid slice width %d", n))
+	}
+	var out uint64
+	for b := 0; b < n; b++ {
+		i := lo + b
+		var bit uint
+		if i < 0 || i >= v.Width {
+			bit = pad & 1
+		} else {
+			bit = v.Bit(i)
+		}
+		out |= uint64(bit) << uint(b)
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWords(t *testing.T) {
+	cases := map[int]int{1: 1, 63: 1, 64: 1, 65: 2, 128: 2, 129: 3}
+	for w, want := range cases {
+		if got := Words(w); got != want {
+			t.Errorf("Words(%d) = %d want %d", w, got, want)
+		}
+	}
+}
+
+func TestBitSetGet(t *testing.T) {
+	v := New(130)
+	idxs := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idxs {
+		v.SetBit(i, 1)
+	}
+	for _, i := range idxs {
+		if v.Bit(i) != 1 {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if v.OnesCount() != len(idxs) {
+		t.Errorf("OnesCount = %d want %d", v.OnesCount(), len(idxs))
+	}
+	v.SetBit(64, 0)
+	if v.Bit(64) != 0 {
+		t.Error("bit 64 still set")
+	}
+}
+
+func TestFill(t *testing.T) {
+	v := New(100)
+	v.Fill(true)
+	if v.OnesCount() != 100 {
+		t.Fatalf("OnesCount after Fill(true) = %d", v.OnesCount())
+	}
+	// Invariant: pad bits above width stay zero.
+	if v.W[1]>>36 != 0 {
+		t.Fatal("pad bits set")
+	}
+	v.Fill(false)
+	if v.OnesCount() != 0 {
+		t.Fatal("Fill(false) left bits")
+	}
+}
+
+// refShl1 is a bit-by-bit model of Shl1.
+func refShl1(v V, carry uint64) V {
+	out := New(v.Width)
+	for i := v.Width - 1; i >= 1; i-- {
+		out.SetBit(i, v.Bit(i-1))
+	}
+	out.SetBit(0, uint(carry&1))
+	return out
+}
+
+func TestShl1AgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, width := range []int{1, 7, 63, 64, 65, 128, 200} {
+		for iter := 0; iter < 50; iter++ {
+			v := New(width)
+			for i := range v.W {
+				v.W[i] = rng.Uint64()
+			}
+			v.Normalize()
+			carry := uint64(rng.Intn(2))
+			want := refShl1(v, carry)
+			got := New(width)
+			got.Shl1(v, carry)
+			if !got.Equal(want) {
+				t.Fatalf("width %d: Shl1 mismatch\n got %s\nwant %s", width, got, want)
+			}
+			// Aliased shift must agree too.
+			alias := v.Clone()
+			alias.Shl1(alias, carry)
+			if !alias.Equal(want) {
+				t.Fatalf("width %d: aliased Shl1 mismatch", width)
+			}
+		}
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	width := 130
+	a, b, c, d := New(width), New(width), New(width), New(width)
+	for i := range a.W {
+		a.W[i], b.W[i], c.W[i], d.W[i] = rng.Uint64(), rng.Uint64(), rng.Uint64(), rng.Uint64()
+	}
+	for _, v := range []V{a, b, c, d} {
+		v.Normalize()
+	}
+	out := New(width)
+	out.And(a, b)
+	for i := 0; i < width; i++ {
+		if out.Bit(i) != (a.Bit(i) & b.Bit(i)) {
+			t.Fatalf("And bit %d", i)
+		}
+	}
+	out.And3(a, b, c)
+	for i := 0; i < width; i++ {
+		if out.Bit(i) != (a.Bit(i) & b.Bit(i) & c.Bit(i)) {
+			t.Fatalf("And3 bit %d", i)
+		}
+	}
+	out.And4(a, b, c, d)
+	for i := 0; i < width; i++ {
+		if out.Bit(i) != (a.Bit(i) & b.Bit(i) & c.Bit(i) & d.Bit(i)) {
+			t.Fatalf("And4 bit %d", i)
+		}
+	}
+	out.Or(a, b)
+	for i := 0; i < width; i++ {
+		if out.Bit(i) != (a.Bit(i) | b.Bit(i)) {
+			t.Fatalf("Or bit %d", i)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	v := New(70)
+	for _, i := range []int{0, 3, 64, 69} {
+		v.SetBit(i, 1)
+	}
+	if got := v.Slice(0, 4, 0); got != 0b1001 {
+		t.Fatalf("Slice(0,4) = %b", got)
+	}
+	if got := v.Slice(62, 5, 0); got != 0b00100 {
+		t.Fatalf("Slice(62,5) = %b", got)
+	}
+	// Out of range reads pad.
+	if got := v.Slice(68, 4, 1); got != 0b1110 {
+		t.Fatalf("Slice(68,4,pad=1) = %04b", got)
+	}
+	if got := v.Slice(-2, 3, 1); got != 0b111 { // bits -2,-1 pad=1, bit 0 =1
+		t.Fatalf("Slice(-2,3,pad=1) = %03b", got)
+	}
+}
+
+func TestSliceMatchesSingleWordSemantics(t *testing.T) {
+	// For width <= 64, Slice(0, width, pad) must reproduce the word.
+	f := func(x uint64) bool {
+		v := New(64)
+		v.W[0] = x
+		return v.Slice(0, 64, 0) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := New(80)
+	a.SetBit(79, 1)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.SetBit(0, 1)
+	if a.Equal(b) {
+		t.Fatal("mutated clone still equal")
+	}
+	if a.Equal(New(81)) {
+		t.Fatal("different widths equal")
+	}
+}
+
+func TestNewPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestOrWordRespectsWidth(t *testing.T) {
+	v := New(66)
+	v.OrWord(1, ^uint64(0))
+	if v.OnesCount() != 2 {
+		t.Fatalf("OnesCount = %d want 2 (width clamp)", v.OnesCount())
+	}
+}

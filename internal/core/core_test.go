@@ -1,0 +1,392 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"genasm/internal/dna"
+	"genasm/internal/stats"
+	"genasm/internal/swg"
+)
+
+func randCodes(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.Intn(4))
+	}
+	return s
+}
+
+// mutateCodes applies ~rate errors per base (1/3 sub, 1/3 del, 1/3 ins).
+func mutateCodes(rng *rand.Rand, s []byte, rate float64) []byte {
+	out := make([]byte, 0, len(s)+8)
+	for _, b := range s {
+		r := rng.Float64()
+		switch {
+		case r < rate/3:
+			out = append(out, byte(rng.Intn(4)))
+		case r < 2*rate/3:
+		case r < rate:
+			out = append(out, b, byte(rng.Intn(4)))
+		default:
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func mustAligner(t *testing.T, cfg Config) *Aligner {
+	t.Helper()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func decode(codes []byte) []byte { return dna.DecodeSeq(codes) }
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{W: 0, O: 0, InitialK: 1},
+		{W: 64, O: 64, InitialK: 1},
+		{W: 64, O: -1, InitialK: 1},
+		{W: 64, O: 24, InitialK: 0},
+		{W: 64, O: 24, InitialK: 65},
+		{W: 64, O: 24, InitialK: 12, DisableSENE: true}, // DENT without SENE
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d unexpectedly valid: %+v", i, cfg)
+		}
+	}
+}
+
+func TestWindowExactSingleWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := mustAligner(t, DefaultConfig())
+	for iter := 0; iter < 400; iter++ {
+		m := 1 + rng.Intn(64)
+		n := rng.Intn(81)
+		p := randCodes(rng, m)
+		var tx []byte
+		if iter%2 == 0 {
+			tx = randCodes(rng, n)
+		} else {
+			tx = mutateCodes(rng, p, 0.2)
+			if len(tx) > 80 {
+				tx = tx[:80]
+			}
+		}
+		wr, err := a.AlignWindow(p, tx)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		wantD, _, _ := swg.PrefixAlign(decode(p), decode(tx))
+		if wr.Distance != wantD {
+			t.Fatalf("iter %d (m=%d n=%d): distance %d want %d", iter, m, len(tx), wr.Distance, wantD)
+		}
+		if err := wr.Cigar.Check(decode(p), decode(tx[:wr.TextUsed])); err != nil {
+			t.Fatalf("iter %d: cigar: %v", iter, err)
+		}
+		if wr.Cigar.EditCost() != wr.Distance {
+			t.Fatalf("iter %d: cost %d != distance %d", iter, wr.Cigar.EditCost(), wr.Distance)
+		}
+		if wr.Cigar.RefLen() != wr.TextUsed {
+			t.Fatalf("iter %d: reflen %d != used %d", iter, wr.Cigar.RefLen(), wr.TextUsed)
+		}
+	}
+}
+
+func TestWindowEmptyPattern(t *testing.T) {
+	a := mustAligner(t, DefaultConfig())
+	wr, err := a.AlignWindow(nil, randCodes(rand.New(rand.NewSource(2)), 10))
+	if err != nil || wr.Distance != 0 || len(wr.Cigar) != 0 || wr.TextUsed != 0 {
+		t.Fatalf("empty pattern: %+v err=%v", wr, err)
+	}
+}
+
+func TestWindowEmptyText(t *testing.T) {
+	a := mustAligner(t, DefaultConfig())
+	p := randCodes(rand.New(rand.NewSource(3)), 20)
+	wr, err := a.AlignWindow(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Distance != 20 || wr.TextUsed != 0 {
+		t.Fatalf("empty text: %+v", wr)
+	}
+	if wr.Cigar.String() != "20I" {
+		t.Fatalf("cigar %s", wr.Cigar)
+	}
+}
+
+func TestWindowRetryDoubling(t *testing.T) {
+	// Pattern totally dissimilar from text forces the error budget past
+	// InitialK; doubling must still find the exact distance.
+	rng := rand.New(rand.NewSource(4))
+	cfg := DefaultConfig()
+	cfg.InitialK = 1
+	a := mustAligner(t, cfg)
+	for iter := 0; iter < 60; iter++ {
+		p := randCodes(rng, 1+rng.Intn(64))
+		tx := randCodes(rng, rng.Intn(70))
+		wr, err := a.AlignWindow(p, tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantD, _, _ := swg.PrefixAlign(decode(p), decode(tx))
+		if wr.Distance != wantD {
+			t.Fatalf("iter %d: distance %d want %d", iter, wr.Distance, wantD)
+		}
+	}
+}
+
+// ablations enumerates every valid improvement combination.
+func ablations(base Config) []Config {
+	var out []Config
+	for _, et := range []bool{false, true} {
+		for _, mode := range []struct{ sene, dent bool }{
+			{false, false}, {true, false}, {true, true},
+		} {
+			c := base
+			c.DisableET = et
+			c.DisableSENE = !mode.sene
+			c.DisableDENT = !mode.dent
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestAblationsProduceIdenticalOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := DefaultConfig()
+	cfgs := ablations(base)
+	aligners := make([]*Aligner, len(cfgs))
+	for i, c := range cfgs {
+		aligners[i] = mustAligner(t, c)
+	}
+	for iter := 0; iter < 150; iter++ {
+		m := 1 + rng.Intn(64)
+		p := randCodes(rng, m)
+		tx := mutateCodes(rng, p, 0.25)
+		if len(tx) > 80 {
+			tx = tx[:80]
+		}
+		ref, err := aligners[0].AlignWindow(p, tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(aligners); i++ {
+			got, err := aligners[i].AlignWindow(p, tx)
+			if err != nil {
+				t.Fatalf("cfg %+v: %v", cfgs[i], err)
+			}
+			if got.Distance != ref.Distance || got.TextUsed != ref.TextUsed ||
+				got.Cigar.String() != ref.Cigar.String() {
+				t.Fatalf("iter %d: cfg %+v diverges: %d/%d %q/%q",
+					iter, cfgs[i], got.Distance, ref.Distance, got.Cigar, ref.Cigar)
+			}
+		}
+	}
+}
+
+func TestMultiwordWindowExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := Config{W: 128, O: 32, InitialK: 16}
+	a := mustAligner(t, cfg)
+	for iter := 0; iter < 60; iter++ {
+		m := 65 + rng.Intn(100)
+		p := randCodes(rng, m)
+		tx := mutateCodes(rng, p, 0.15)
+		wr, err := a.AlignWindow(p, tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantD, _, _ := swg.PrefixAlign(decode(p), decode(tx))
+		if wr.Distance != wantD {
+			t.Fatalf("iter %d (m=%d): distance %d want %d", iter, m, wr.Distance, wantD)
+		}
+		if err := wr.Cigar.Check(decode(p), decode(tx[:wr.TextUsed])); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func TestMultiwordAblations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := Config{W: 100, O: 30, InitialK: 10}
+	cfgs := ablations(base)
+	for iter := 0; iter < 40; iter++ {
+		p := randCodes(rng, 65+rng.Intn(60))
+		tx := mutateCodes(rng, p, 0.2)
+		var refD int
+		var refCg string
+		for i, c := range cfgs {
+			a := mustAligner(t, c)
+			got, err := a.AlignWindow(p, tx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				refD, refCg = got.Distance, got.Cigar.String()
+				continue
+			}
+			if got.Distance != refD || got.Cigar.String() != refCg {
+				t.Fatalf("iter %d cfg %+v diverges", iter, c)
+			}
+		}
+	}
+}
+
+func TestPipelinePerfectRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := mustAligner(t, DefaultConfig())
+	ref := randCodes(rng, 2000)
+	read := ref[100:1100]
+	res, err := a.AlignEncoded(read, ref[100:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance != 0 {
+		t.Fatalf("distance %d want 0", res.Distance)
+	}
+	if res.RefConsumed != len(read) {
+		t.Fatalf("consumed %d want %d", res.RefConsumed, len(read))
+	}
+	if err := res.Cigar.Check(decode(read), decode(ref[100:100+res.RefConsumed])); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineNoisyReadsValidAndNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := mustAligner(t, DefaultConfig())
+	for iter := 0; iter < 20; iter++ {
+		refLen := 800 + rng.Intn(400)
+		origin := randCodes(rng, refLen)
+		read := mutateCodes(rng, origin, 0.10)
+		// Candidate region: origin plus slack, as minimap would give.
+		region := append(append([]byte{}, origin...), randCodes(rng, 100)...)
+		res, err := a.AlignEncoded(read, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Cigar.Check(decode(read), decode(region[:res.RefConsumed])); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if res.Cigar.EditCost() != res.Distance {
+			t.Fatalf("iter %d: cost mismatch", iter)
+		}
+		opt, _, _ := swg.PrefixAlign(decode(read), decode(region))
+		if res.Distance < opt {
+			t.Fatalf("iter %d: windowed distance %d below optimum %d", iter, res.Distance, opt)
+		}
+		// The windowing heuristic should stay close to optimal at 10%
+		// error with the paper's W/O.
+		if res.Distance > opt+opt/4+8 {
+			t.Fatalf("iter %d: windowed distance %d far above optimum %d", iter, res.Distance, opt)
+		}
+	}
+}
+
+func TestPipelineWindowGeometryErrors(t *testing.T) {
+	if _, err := AlignWindowed(nil, nil, 0, 0, nil); err == nil {
+		t.Error("accepted W=0")
+	}
+	if _, err := AlignWindowed(nil, nil, 10, 10, nil); err == nil {
+		t.Error("accepted O=W")
+	}
+}
+
+func TestCountersImprovedVsUnimproved(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	p := randCodes(rng, 64)
+	tx := mutateCodes(rng, p, 0.1)
+	if len(tx) > 70 {
+		tx = tx[:70]
+	}
+
+	run := func(cfg Config) *stats.Counters {
+		a := mustAligner(t, cfg)
+		var c stats.Counters
+		a.SetCounters(&c)
+		if _, err := a.AlignWindow(p, tx); err != nil {
+			t.Fatal(err)
+		}
+		return &c
+	}
+
+	improved := run(DefaultConfig())
+	unimp := run(Config{W: 64, O: 24, InitialK: 12,
+		DisableSENE: true, DisableDENT: true, DisableET: true})
+
+	if improved.PeakFootprintBits >= unimp.PeakFootprintBits {
+		t.Fatalf("improved footprint %d !< unimproved %d",
+			improved.PeakFootprintBits, unimp.PeakFootprintBits)
+	}
+	if improved.Accesses() >= unimp.Accesses() {
+		t.Fatalf("improved accesses %d !< unimproved %d",
+			improved.Accesses(), unimp.Accesses())
+	}
+	if improved.RowsSkipped == 0 {
+		t.Fatal("ET skipped no rows on a low-error window")
+	}
+	if unimp.RowsSkipped != 0 {
+		t.Fatal("unimproved config skipped rows")
+	}
+}
+
+func TestBandExtract(t *testing.T) {
+	// Construct a word with known bits and check band slicing against a
+	// bit-by-bit model.
+	r := uint64(0)
+	m := 40
+	set := map[int]bool{0: true, 5: true, 31: true, 39: true}
+	for j := 0; j < m; j++ {
+		if !set[j] {
+			r |= 1 << uint(j)
+		}
+	}
+	r |= ^uint64(0) << uint(m)
+	for _, lo := range []int{-70, -10, -1, 0, 3, 30, 38, 39, 64, 80} {
+		w := bandExtract(r, lo, m)
+		for b := 0; b < 64; b++ {
+			j := lo + b
+			want := uint64(1)
+			if j >= 0 && j < m && set[j] {
+				want = 0
+			}
+			if got := w >> uint(b) & 1; got != want {
+				t.Fatalf("lo=%d bit %d (j=%d): got %d want %d", lo, b, j, got, want)
+			}
+		}
+	}
+}
+
+func TestAlignRawBytes(t *testing.T) {
+	a := mustAligner(t, DefaultConfig())
+	res, err := a.Align([]byte("ACGTACGTACGT"), []byte("ACGTACGTACGTTTT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance != 0 || res.RefConsumed != 12 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestAlignHandlesNBases(t *testing.T) {
+	a := mustAligner(t, DefaultConfig())
+	// N never matches, even against N, so each N costs one edit.
+	res, err := a.Align([]byte("ACGNNACGT"), []byte("ACGNNACGT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance != 2 {
+		t.Fatalf("distance %d want 2", res.Distance)
+	}
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+
+	"genasm/internal/cigar"
+	"genasm/internal/dna"
+	"genasm/internal/stats"
+)
+
+// masks64 holds the Bitap pattern-match bitmasks of one (reversed) pattern
+// window for the single-word fast path (m <= 64). Bits are 0-active: bit j
+// of pm[c] is 0 iff the reversed pattern has base code c at position j. Bits
+// at and above m are 1 so they always read as inactive.
+type masks64 struct {
+	pm   [dna.Alphabet]uint64
+	m    int
+	high uint64 // 1s at bit positions >= m
+}
+
+func buildMasks64(pRev []byte) masks64 {
+	m := len(pRev)
+	var mk masks64
+	mk.m = m
+	if m < 64 {
+		mk.high = ^uint64(0) << uint(m)
+	}
+	for c := 0; c < dna.Alphabet; c++ {
+		mk.pm[c] = ^uint64(0)
+	}
+	for j, pc := range pRev {
+		if pc != dna.N {
+			mk.pm[pc] &^= uint64(1) << uint(j)
+		}
+	}
+	return mk
+}
+
+// initRow returns the automaton state before any text character at error
+// level d: bit j is active (0) iff the pattern prefix of length j+1 can be
+// produced by j+1 <= d deletions.
+func (mk *masks64) initRow(d int) uint64 {
+	var r uint64
+	if d >= 64 {
+		r = 0
+	} else {
+		r = ^uint64(0) << uint(d)
+	}
+	return r | mk.high
+}
+
+// table64 is the stored DP working set of one window: everything the
+// traceback is allowed to read. Depending on the configuration it stores
+// per (error level d, text position i in 1..n) either the single entry
+// bitvector R[d][i] (SENE), a banded slice of it (SENE+DENT), or the four
+// edge bitvectors match/substitution/deletion/insertion (neither; the
+// unimproved layout).
+type table64 struct {
+	m, n, k int
+	entries bool // SENE: entry storage (1 word) vs edge storage (4 words)
+	banded  bool // DENT: entries hold a (2k+3)-bit diagonal band
+	bandB   int  // band width in bits when banded
+	// storeBytes is the size of one stored entry as packed in memory:
+	// banded entries round the band up to whole bytes, full entries are
+	// one 64-bit word.
+	storeBytes uint64
+	rows       [][]uint64
+}
+
+// bandLo returns the lowest pattern bit index stored for text position i:
+// the traceback diagonal at i minus the band's half width.
+func (t *table64) bandLo(i int) int {
+	return (t.m - 1 - t.n + i) - (t.k + 1)
+}
+
+// bandExtract packs bits [lo, lo+64) of the full automaton word r into a
+// stored band word. Bit positions outside [0, m) read as 1 (inactive).
+func bandExtract(r uint64, lo, m int) uint64 {
+	var w uint64
+	switch {
+	case lo >= 64:
+		w = ^uint64(0)
+	case lo >= 0:
+		w = r >> uint(lo)
+		if lo > 0 {
+			w |= ^uint64(0) << uint(64-lo)
+		}
+	case lo <= -64:
+		w = ^uint64(0)
+	default: // -64 < lo < 0
+		sh := uint(-lo)
+		w = r<<sh | (uint64(1)<<sh - 1)
+	}
+	if bs := m - lo; bs < 64 {
+		if bs < 0 {
+			bs = 0
+		}
+		w |= ^uint64(0) << uint(bs)
+	}
+	return w
+}
+
+// entryBit returns bit j of R[d][i], reading stored state. Queries outside
+// the automaton (j < 0 fresh start, j >= m, i == 0 initial state, or outside
+// the stored band) are answered from the closed-form padding rules.
+func (t *table64) entryBit(d, i, j int, c *stats.Counters) uint64 {
+	switch {
+	case j < 0:
+		return 0 // fresh start: the empty pattern prefix is always active
+	case j >= t.m:
+		return 1
+	case i == 0:
+		if j < d {
+			return 0 // j+1 deletions
+		}
+		return 1
+	}
+	c.AddRead(1, t.storeBytes)
+	w := t.rows[d][i-1]
+	if t.banded {
+		b := j - t.bandLo(i)
+		if b < 0 || b >= t.bandB {
+			return 1 // outside the traceback-reachable band
+		}
+		return (w >> uint(b)) & 1
+	}
+	return (w >> uint(j)) & 1
+}
+
+// edge indices within an edge-mode entry.
+const (
+	edgeM = 0
+	edgeS = 1
+	edgeD = 2
+	edgeI = 3
+)
+
+// edgeBit returns bit j of the stored edge vector (edge-mode tables only).
+func (t *table64) edgeBit(e, d, i, j int, c *stats.Counters) uint64 {
+	c.AddRead(1, 8)
+	return (t.rows[d][4*(i-1)+e] >> uint(j)) & 1
+}
+
+// dc64 runs the improved GenASM distance calculation for one window:
+// reversed pattern masks mk against reversed text tRev (base codes), with
+// error budget k. It returns the stored table and the window distance d*,
+// or ok=false if the distance exceeds k.
+//
+// The loop is row-major over error levels so that early termination can
+// skip every row above the first solved one. rowPrev/rowCur hold the full
+// automaton words of rows d-1 and d (the kernel working registers); the
+// stored table receives only what the configuration allows the traceback
+// to read.
+func dc64(mk *masks64, tRev []byte, k int, cfg Config, scratch *scratch64, c *stats.Counters) (*table64, int, bool) {
+	m, n := mk.m, len(tRev)
+	t := &table64{
+		m: m, n: n, k: k,
+		entries: !cfg.DisableSENE,
+		banded:  !cfg.DisableDENT && 2*k+3 <= 64,
+		rows:    scratch.rows[:0],
+	}
+	t.storeBytes = 8
+	entryBits := uint64(64)
+	if t.banded {
+		t.bandB = 2*k + 3
+		entryBits = uint64(t.bandB)
+		t.storeBytes = uint64(t.bandB+7) / 8
+	}
+
+	rowPrev := scratch.row(0, n+1)
+	rowCur := scratch.row(1, n+1)
+
+	solved := -1
+	for d := 0; d <= k; d++ {
+		prev := mk.initRow(d)
+		rowCur[0] = prev
+		var drow []uint64
+		if t.entries {
+			drow = scratch.tableRow(d, n)
+		} else {
+			drow = scratch.tableRow(d, 4*n)
+		}
+		for i := 1; i <= n; i++ {
+			pmt := mk.pm[tRev[i-1]]
+			M := prev<<1 | pmt
+			var cur uint64
+			if d == 0 {
+				cur = M | mk.high
+				if t.entries {
+					if t.banded {
+						drow[i-1] = bandExtract(cur, t.bandLo(i), m)
+					} else {
+						drow[i-1] = cur
+					}
+					c.AddWrite(1, t.storeBytes)
+					c.AddFootprint(entryBits)
+				} else {
+					e := drow[4*(i-1):]
+					e[edgeM], e[edgeS], e[edgeD], e[edgeI] = M, ^uint64(0), ^uint64(0), ^uint64(0)
+					c.AddWrite(4, 8)
+					c.AddFootprint(4 * 64)
+				}
+			} else {
+				up1 := rowPrev[i-1] // R[d-1][i-1]
+				S := up1 << 1
+				D := rowPrev[i] << 1
+				I := up1
+				cur = (M & S & D & I) | mk.high
+				if t.entries {
+					if t.banded {
+						drow[i-1] = bandExtract(cur, t.bandLo(i), m)
+					} else {
+						drow[i-1] = cur
+					}
+					c.AddWrite(1, t.storeBytes)
+					c.AddFootprint(entryBits)
+				} else {
+					e := drow[4*(i-1):]
+					e[edgeM], e[edgeS], e[edgeD], e[edgeI] = M, S, D, I
+					c.AddWrite(4, 8)
+					c.AddFootprint(4 * 64)
+				}
+			}
+			rowCur[i] = cur
+			prev = cur
+		}
+		t.rows = append(t.rows, drow)
+		if solved < 0 && rowCur[n]>>uint(m-1)&1 == 0 {
+			solved = d
+			if !cfg.DisableET {
+				c.AddRows(uint64(d+1), uint64(k-d))
+				scratch.rows = t.rows
+				return t, d, true
+			}
+		}
+		rowPrev, rowCur = rowCur, rowPrev
+	}
+	scratch.rows = t.rows
+	c.AddRows(uint64(len(t.rows)), 0)
+	if solved >= 0 {
+		return t, solved, true
+	}
+	return t, 0, false
+}
+
+// traceback64 walks the stored table from the solved state (text fully
+// processed, whole pattern matched, error level d*) back to the start of
+// the pattern, emitting alignment operations. Because both window strings
+// are reversed, the operations come out in forward order of the original
+// window. It returns the alignment and the number of text characters the
+// pattern consumed.
+//
+// Edge priority is match, substitution, deletion (pattern-only: a query
+// insertion in CIGAR terms), insertion (text-only: a query deletion). Every
+// implementation in this repository uses the same order, so ablated and
+// unimproved configurations produce byte-identical alignments.
+func traceback64(t *table64, mk *masks64, tRev []byte, dStar int, c *stats.Counters) (cigar.Cigar, int, error) {
+	var cg cigar.Cigar
+	i, j, d := t.n, t.m-1, dStar
+	for j >= 0 {
+		if t.entries {
+			if i >= 1 && mk.pm[tRev[i-1]]>>uint(j)&1 == 0 && t.entryBit(d, i-1, j-1, c) == 0 {
+				cg = cg.Append(cigar.Match, 1)
+				i, j = i-1, j-1
+				continue
+			}
+			if d >= 1 {
+				if i >= 1 && t.entryBit(d-1, i-1, j-1, c) == 0 {
+					cg = cg.Append(cigar.Mismatch, 1)
+					i, j, d = i-1, j-1, d-1
+					continue
+				}
+				if t.entryBit(d-1, i, j-1, c) == 0 {
+					cg = cg.Append(cigar.Ins, 1)
+					j, d = j-1, d-1
+					continue
+				}
+				if i >= 1 && t.entryBit(d-1, i-1, j, c) == 0 {
+					cg = cg.Append(cigar.Del, 1)
+					i, d = i-1, d-1
+					continue
+				}
+			}
+		} else {
+			if i >= 1 && t.edgeBit(edgeM, d, i, j, c) == 0 {
+				cg = cg.Append(cigar.Match, 1)
+				i, j = i-1, j-1
+				continue
+			}
+			if d >= 1 {
+				if i >= 1 {
+					if t.edgeBit(edgeS, d, i, j, c) == 0 {
+						cg = cg.Append(cigar.Mismatch, 1)
+						i, j, d = i-1, j-1, d-1
+						continue
+					}
+					if t.edgeBit(edgeD, d, i, j, c) == 0 {
+						cg = cg.Append(cigar.Ins, 1)
+						j, d = j-1, d-1
+						continue
+					}
+					if t.edgeBit(edgeI, d, i, j, c) == 0 {
+						cg = cg.Append(cigar.Del, 1)
+						i, d = i-1, d-1
+						continue
+					}
+				} else if j < d { // initial column: deletions only
+					cg = cg.Append(cigar.Ins, 1)
+					j, d = j-1, d-1
+					continue
+				}
+			}
+		}
+		return nil, 0, fmt.Errorf("core: traceback stuck at i=%d j=%d d=%d (table %dx%d k=%d)", i, j, d, t.n, t.m, t.k)
+	}
+	return cg, t.n - i, nil
+}
+
+// scratch64 owns the reusable buffers of one Aligner so window alignment is
+// allocation-free in the steady state. Not safe for concurrent use.
+type scratch64 struct {
+	rowBuf [2][]uint64
+	rows   [][]uint64
+	table  [][]uint64 // backing rows, grown on demand
+}
+
+func (s *scratch64) row(which, n int) []uint64 {
+	if cap(s.rowBuf[which]) < n {
+		s.rowBuf[which] = make([]uint64, n)
+	}
+	return s.rowBuf[which][:n]
+}
+
+func (s *scratch64) tableRow(d, n int) []uint64 {
+	for len(s.table) <= d {
+		s.table = append(s.table, nil)
+	}
+	if cap(s.table[d]) < n {
+		s.table[d] = make([]uint64, n)
+	}
+	return s.table[d][:n]
+}

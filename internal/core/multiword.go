@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"genasm/internal/bitvec"
+	"genasm/internal/cigar"
+	"genasm/internal/dna"
+)
+
+// Multi-word window path: the same improved GenASM algorithm for windows
+// wider than one machine word (64 < W). The automaton rows become
+// bitvec.V values; the structure of the distance calculation, early
+// termination and traceback is identical to the single-word fast path in
+// dc64.go.
+//
+// DENT note: the stored entries remain whole vectors at the Go level (the
+// language has no sub-word addressing worth modelling here), but banded
+// reads are enforced — out-of-band bits answer "inactive" — and the
+// footprint accounting charges only the band bits, which is what a packed
+// implementation (or the GPU kernels in internal/gpualign) would allocate.
+
+type masksMW struct {
+	pm [dna.Alphabet]bitvec.V
+	m  int
+}
+
+func buildMasksMW(pRev []byte) masksMW {
+	m := len(pRev)
+	var mk masksMW
+	mk.m = m
+	for c := 0; c < dna.Alphabet; c++ {
+		mk.pm[c] = bitvec.New(m)
+		mk.pm[c].Fill(true)
+	}
+	for j, pc := range pRev {
+		if pc != dna.N {
+			mk.pm[pc].SetBit(j, 0)
+		}
+	}
+	return mk
+}
+
+func (mk *masksMW) initRow(d int) bitvec.V {
+	v := bitvec.New(mk.m)
+	v.Fill(true)
+	for j := 0; j < d && j < mk.m; j++ {
+		v.SetBit(j, 0)
+	}
+	return v
+}
+
+type tableMW struct {
+	m, n, k    int
+	entries    bool
+	banded     bool
+	bandB      int
+	storeBytes uint64
+	rows       [][]bitvec.V
+}
+
+func (t *tableMW) bandLo(i int) int { return (t.m - 1 - t.n + i) - (t.k + 1) }
+
+func (t *tableMW) entryBit(d, i, j int, w *windowAligner) uint {
+	switch {
+	case j < 0:
+		return 0
+	case j >= t.m:
+		return 1
+	case i == 0:
+		if j < d {
+			return 0
+		}
+		return 1
+	}
+	w.counters.AddRead(1, t.storeBytes)
+	if t.banded {
+		b := j - t.bandLo(i)
+		if b < 0 || b >= t.bandB {
+			return 1
+		}
+	}
+	return t.rows[d][i-1].Bit(j)
+}
+
+func (t *tableMW) edgeBit(e, d, i, j int, w *windowAligner) uint {
+	w.counters.AddRead(1, 8)
+	return t.rows[d][4*(i-1)+e].Bit(j)
+}
+
+// mwScratch holds the per-aligner temporaries of the multi-word path.
+type mwScratch struct {
+	rowPrev, rowCur []bitvec.V
+	tM, tS, tD, tI  bitvec.V
+}
+
+func (s *mwScratch) prepare(m, n int) {
+	need := n + 1
+	if len(s.rowPrev) < need || (len(s.rowPrev) > 0 && s.rowPrev[0].Width != m) {
+		s.rowPrev = make([]bitvec.V, need)
+		s.rowCur = make([]bitvec.V, need)
+		for i := 0; i < need; i++ {
+			s.rowPrev[i] = bitvec.New(m)
+			s.rowCur[i] = bitvec.New(m)
+		}
+		s.tM = bitvec.New(m)
+		s.tS = bitvec.New(m)
+		s.tD = bitvec.New(m)
+		s.tI = bitvec.New(m)
+	}
+}
+
+// alignWindowMW aligns the reversed window buffers of w at error budget k.
+func (w *windowAligner) alignWindowMW(k int) (int, cigar.Cigar, int, bool, error) {
+	mk := buildMasksMW(w.pRevBuf)
+	m, n := mk.m, len(w.tRevBuf)
+	cfg := w.cfg
+	t := &tableMW{
+		m: m, n: n, k: k,
+		entries: !cfg.DisableSENE,
+		banded:  !cfg.DisableDENT,
+	}
+	entryBits := uint64(m)
+	wordsPerEntry := uint64(bitvec.Words(m))
+	t.storeBytes = 8 * wordsPerEntry
+	if t.banded {
+		t.bandB = 2*k + 3
+		entryBits = uint64(t.bandB)
+		t.storeBytes = uint64(t.bandB+7) / 8
+	}
+
+	w.mw.prepare(m, n)
+	rowPrev, rowCur := w.mw.rowPrev, w.mw.rowCur
+
+	solved := -1
+	for d := 0; d <= k; d++ {
+		rowCur[0].Copy(mk.initRow(d))
+		var drow []bitvec.V
+		if t.entries {
+			drow = make([]bitvec.V, n)
+		} else {
+			drow = make([]bitvec.V, 4*n)
+		}
+		for i := 1; i <= n; i++ {
+			pmt := mk.pm[w.tRevBuf[i-1]]
+			w.mw.tM.Shl1(rowCur[i-1], 0)
+			w.mw.tM.Or(w.mw.tM, pmt)
+			if d == 0 {
+				rowCur[i].Copy(w.mw.tM)
+			} else {
+				w.mw.tS.Shl1(rowPrev[i-1], 0)
+				w.mw.tD.Shl1(rowPrev[i], 0)
+				w.mw.tI.Copy(rowPrev[i-1])
+				rowCur[i].And4(w.mw.tM, w.mw.tS, w.mw.tD, w.mw.tI)
+			}
+			if t.entries {
+				drow[i-1] = rowCur[i].Clone()
+				if t.banded {
+					w.counters.AddWrite(1, t.storeBytes)
+				} else {
+					w.counters.AddWrite(wordsPerEntry, 8)
+				}
+				w.counters.AddFootprint(entryBits)
+			} else {
+				e := drow[4*(i-1):]
+				e[edgeM] = w.mw.tM.Clone()
+				if d == 0 {
+					ones := bitvec.New(m)
+					ones.Fill(true)
+					e[edgeS], e[edgeD], e[edgeI] = ones, ones.Clone(), ones.Clone()
+				} else {
+					e[edgeS] = w.mw.tS.Clone()
+					e[edgeD] = w.mw.tD.Clone()
+					e[edgeI] = w.mw.tI.Clone()
+				}
+				w.counters.AddWrite(4*wordsPerEntry, 8)
+				w.counters.AddFootprint(4 * uint64(m))
+			}
+		}
+		t.rows = append(t.rows, drow)
+		if solved < 0 && rowCur[n].Bit(m-1) == 0 {
+			solved = d
+			if !cfg.DisableET {
+				w.counters.AddRows(uint64(d+1), uint64(k-d))
+				cg, used, err := w.tracebackMW(t, &mk, d)
+				return d, cg, used, true, err
+			}
+		}
+		rowPrev, rowCur = rowCur, rowPrev
+	}
+	w.counters.AddRows(uint64(len(t.rows)), 0)
+	if solved < 0 {
+		return 0, nil, 0, false, nil
+	}
+	cg, used, err := w.tracebackMW(t, &mk, solved)
+	return solved, cg, used, true, err
+}
+
+func (w *windowAligner) tracebackMW(t *tableMW, mk *masksMW, dStar int) (cigar.Cigar, int, error) {
+	var cg cigar.Cigar
+	i, j, d := t.n, t.m-1, dStar
+	for j >= 0 {
+		if t.entries {
+			if i >= 1 && mk.pm[w.tRevBuf[i-1]].Bit(j) == 0 && t.entryBit(d, i-1, j-1, w) == 0 {
+				cg = cg.Append(cigar.Match, 1)
+				i, j = i-1, j-1
+				continue
+			}
+			if d >= 1 {
+				if i >= 1 && t.entryBit(d-1, i-1, j-1, w) == 0 {
+					cg = cg.Append(cigar.Mismatch, 1)
+					i, j, d = i-1, j-1, d-1
+					continue
+				}
+				if t.entryBit(d-1, i, j-1, w) == 0 {
+					cg = cg.Append(cigar.Ins, 1)
+					j, d = j-1, d-1
+					continue
+				}
+				if i >= 1 && t.entryBit(d-1, i-1, j, w) == 0 {
+					cg = cg.Append(cigar.Del, 1)
+					i, d = i-1, d-1
+					continue
+				}
+			}
+		} else {
+			if i >= 1 && t.edgeBit(edgeM, d, i, j, w) == 0 {
+				cg = cg.Append(cigar.Match, 1)
+				i, j = i-1, j-1
+				continue
+			}
+			if d >= 1 {
+				if i >= 1 {
+					if t.edgeBit(edgeS, d, i, j, w) == 0 {
+						cg = cg.Append(cigar.Mismatch, 1)
+						i, j, d = i-1, j-1, d-1
+						continue
+					}
+					if t.edgeBit(edgeD, d, i, j, w) == 0 {
+						cg = cg.Append(cigar.Ins, 1)
+						j, d = j-1, d-1
+						continue
+					}
+					if t.edgeBit(edgeI, d, i, j, w) == 0 {
+						cg = cg.Append(cigar.Del, 1)
+						i, d = i-1, d-1
+						continue
+					}
+				} else if j < d {
+					cg = cg.Append(cigar.Ins, 1)
+					j, d = j-1, d-1
+					continue
+				}
+			}
+		}
+		return nil, 0, fmt.Errorf("core: multiword traceback stuck at i=%d j=%d d=%d", i, j, d)
+	}
+	return cg, t.n - i, nil
+}

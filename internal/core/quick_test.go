@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"genasm/internal/swg"
+)
+
+// Property-based tests (testing/quick) over the core invariants.
+
+// TestQuickWindowDistanceMatchesGoldStandard: for arbitrary byte-derived
+// windows, the improved GenASM window distance equals the quadratic DP's
+// prefix-alignment distance.
+func TestQuickWindowDistanceMatchesGoldStandard(t *testing.T) {
+	a := mustAligner(t, DefaultConfig())
+	f := func(pRaw, tRaw []byte) bool {
+		p := clampCodes(pRaw, 64)
+		tx := clampCodes(tRaw, 80)
+		if len(p) == 0 {
+			return true
+		}
+		wr, err := a.AlignWindow(p, tx)
+		if err != nil {
+			return false
+		}
+		want, _, _ := swg.PrefixAlign(decode(p), decode(tx))
+		return wr.Distance == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTracebackCostEqualsDistance: the emitted alignment's cost is
+// always exactly the reported distance, and the CIGAR is well-formed.
+func TestQuickTracebackCostEqualsDistance(t *testing.T) {
+	a := mustAligner(t, DefaultConfig())
+	f := func(pRaw, tRaw []byte) bool {
+		p := clampCodes(pRaw, 64)
+		tx := clampCodes(tRaw, 80)
+		if len(p) == 0 {
+			return true
+		}
+		wr, err := a.AlignWindow(p, tx)
+		if err != nil {
+			return false
+		}
+		if wr.Cigar.EditCost() != wr.Distance {
+			return false
+		}
+		return wr.Cigar.Check(decode(p), decode(tx[:wr.TextUsed])) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBandExtractModel: bandExtract agrees with a bit-by-bit model
+// for arbitrary words, offsets and pattern lengths.
+func TestQuickBandExtractModel(t *testing.T) {
+	f := func(r uint64, loRaw int8, mRaw uint8) bool {
+		m := 1 + int(mRaw)%64
+		lo := int(loRaw)
+		full := r
+		if m < 64 {
+			full |= ^uint64(0) << uint(m) // bits above the pattern read inactive
+		}
+		w := bandExtract(full, lo, m)
+		for b := 0; b < 64; b++ {
+			j := lo + b
+			want := uint64(1)
+			if j >= 0 && j < m {
+				want = full >> uint(j) & 1
+			}
+			if w>>uint(b)&1 != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPipelineCigarAlwaysValid: the full windowed pipeline emits a
+// valid alignment whose cost equals the committed distance, for arbitrary
+// query/ref pairs (including degenerate ones).
+func TestQuickPipelineCigarAlwaysValid(t *testing.T) {
+	a := mustAligner(t, DefaultConfig())
+	f := func(qRaw, rRaw []byte, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := clampCodes(qRaw, 300)
+		r := clampCodes(rRaw, 300)
+		if rng.Intn(2) == 0 && len(q) > 0 {
+			// Half the time, make ref a mutated copy so realistic
+			// inputs are covered too.
+			r = mutateCodes(rng, q, 0.15)
+		}
+		res, err := a.AlignEncoded(q, r)
+		if err != nil {
+			return false
+		}
+		if res.Cigar.EditCost() != res.Distance {
+			return false
+		}
+		return res.Cigar.Check(decode(q), decode(r[:res.RefConsumed])) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDistanceSymmetryBound: GenASM window distance is bounded below
+// by the length difference when the text is shorter, and above by the
+// pattern length.
+func TestQuickDistanceBounds(t *testing.T) {
+	a := mustAligner(t, DefaultConfig())
+	f := func(pRaw, tRaw []byte) bool {
+		p := clampCodes(pRaw, 64)
+		tx := clampCodes(tRaw, 80)
+		if len(p) == 0 {
+			return true
+		}
+		wr, err := a.AlignWindow(p, tx)
+		if err != nil {
+			return false
+		}
+		if wr.Distance > len(p) {
+			return false // can never cost more than deleting the pattern
+		}
+		if len(tx) < len(p) && wr.Distance < len(p)-len(tx) {
+			return false
+		}
+		return wr.TextUsed <= len(tx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// clampCodes maps arbitrary bytes into base codes (0..3) and bounds the
+// length, so quick's generators explore the real input space.
+func clampCodes(raw []byte, maxLen int) []byte {
+	if len(raw) > maxLen {
+		raw = raw[:maxLen]
+	}
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = b % 4
+	}
+	return out
+}

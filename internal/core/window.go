@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"genasm/internal/cigar"
+	"genasm/internal/stats"
+)
+
+// WindowResult is the outcome of aligning one pattern window against one
+// text window.
+type WindowResult struct {
+	// Distance is the minimal edit distance of the whole pattern window
+	// against any prefix of the text window.
+	Distance int
+	// Cigar is an optimal alignment realizing Distance, in forward
+	// window coordinates.
+	Cigar cigar.Cigar
+	// TextUsed is the number of text characters the alignment consumed
+	// (the length of the aligned text prefix).
+	TextUsed int
+}
+
+// windowAligner aligns single windows with retry-on-budget-exceeded. It owns
+// reusable scratch and is not safe for concurrent use.
+type windowAligner struct {
+	cfg      Config
+	scratch  scratch64
+	mw       mwScratch
+	pRevBuf  []byte
+	tRevBuf  []byte
+	counters *stats.Counters
+}
+
+// alignWindow aligns pattern p (base codes, forward orientation) against
+// text t (base codes, forward) under the window semantics above. Both
+// strings are reversed internally, following GenASM, so the traceback emits
+// operations in forward order and the free text slack lands at the tail.
+func (w *windowAligner) alignWindow(p, t []byte) (WindowResult, error) {
+	m, n := len(p), len(t)
+	if m == 0 {
+		return WindowResult{}, nil
+	}
+	w.pRevBuf = reverseInto(w.pRevBuf[:0], p)
+	w.tRevBuf = reverseInto(w.tRevBuf[:0], t)
+
+	k := w.cfg.InitialK
+	if k > m {
+		k = m
+	}
+	for {
+		var (
+			d    int
+			cg   cigar.Cigar
+			used int
+			ok   bool
+			err  error
+		)
+		if m <= 64 {
+			mk := buildMasks64(w.pRevBuf)
+			var tbl *table64
+			tbl, d, ok = dc64(&mk, w.tRevBuf, k, w.cfg, &w.scratch, w.counters)
+			if ok {
+				cg, used, err = traceback64(tbl, &mk, w.tRevBuf, d, w.counters)
+			}
+		} else {
+			d, cg, used, ok, err = w.alignWindowMW(k)
+		}
+		w.counters.EndWindow()
+		if err != nil {
+			return WindowResult{}, err
+		}
+		if ok {
+			if got := cg.EditCost(); got != d {
+				return WindowResult{}, fmt.Errorf("core: traceback cost %d != distance %d", got, d)
+			}
+			return WindowResult{Distance: d, Cigar: cg, TextUsed: used}, nil
+		}
+		if k >= m {
+			// Unreachable: at k = m the all-deletion solution always
+			// exists (every bit of R[m] starts active).
+			return WindowResult{}, fmt.Errorf("core: window unsolved at k=m=%d (n=%d)", m, n)
+		}
+		k *= 2
+		if k > m {
+			k = m
+		}
+	}
+}
+
+func reverseInto(dst, src []byte) []byte {
+	for i := len(src) - 1; i >= 0; i-- {
+		dst = append(dst, src[i])
+	}
+	return dst
+}

@@ -1,0 +1,325 @@
+// Package edlib reproduces the Edlib aligner (Šošić & Šikić,
+// Bioinformatics 2017): global (Needleman-Wunsch) edit-distance alignment
+// built on Myers' 1999 bit-parallel algorithm, blocked into 64-row bands,
+// with Ukkonen banding and outward band doubling until the distance fits.
+//
+// It is one of the paper's two state-of-the-art CPU baselines. Semantics
+// match the other aligners in this repository: unit edit costs, and
+// non-ACGT bases never match anything.
+package edlib
+
+import (
+	"fmt"
+	"math/bits"
+
+	"genasm/internal/cigar"
+	"genasm/internal/dna"
+)
+
+const (
+	wordSize = 64
+	hiBit    = uint64(1) << 63
+)
+
+// peq holds the per-block match masks: peq[b*dna.Alphabet+c] has bit r set
+// iff query row b*64+r holds base code c. Padding rows (beyond the query
+// length in the last block) match nothing.
+type peq []uint64
+
+func buildPeq(query []byte) (peq, int) {
+	nb := (len(query) + wordSize - 1) / wordSize
+	if nb == 0 {
+		nb = 1
+	}
+	p := make(peq, nb*dna.Alphabet)
+	for i, qc := range query {
+		if qc != dna.N {
+			p[(i/wordSize)*dna.Alphabet+int(qc)] |= 1 << uint(i%wordSize)
+		}
+	}
+	return p, nb
+}
+
+// advanceBlock performs one Myers column step on a 64-row block.
+// pv/mv are the vertical +1/-1 delta masks, eq the match mask for the
+// current text character, hin the horizontal delta entering the block
+// (-1, 0 or +1). It returns the new pv/mv and the outgoing delta.
+func advanceBlock(pv, mv, eq uint64, hin int) (uint64, uint64, int) {
+	hinNeg := uint64(hin) >> 63 // 1 iff hin < 0
+	xv := eq | mv
+	eq |= hinNeg
+	xh := (((eq & pv) + pv) ^ pv) | eq
+	ph := mv | ^(xh | pv)
+	mh := pv & xh
+
+	hout := 0
+	if ph&hiBit != 0 {
+		hout = 1
+	} else if mh&hiBit != 0 {
+		hout = -1
+	}
+	ph <<= 1
+	mh <<= 1
+	mh |= hinNeg
+	if hin > 0 {
+		ph |= 1
+	}
+	pvOut := mh | ^(xv | ph)
+	mvOut := ph & xv
+	return pvOut, mvOut, hout
+}
+
+// block is one stored 64-row automaton state.
+type block struct {
+	pv, mv uint64
+}
+
+// column records the band of blocks computed at one text position, for the
+// traceback, together with each stored block's score (the DP value at the
+// block's last row). Blocks below the stored band were not computed; the
+// forward pass treated them as all-+1 vertical deltas, and the traceback
+// replays exactly that substitution so its cell values match the forward
+// automaton.
+type column struct {
+	lo     int
+	blocks []block
+	scores []int
+}
+
+// run executes banded Myers over the whole text with error bound k.
+// If store is non-nil it appends one column record per text position.
+// It returns the block states of the final column, the final band, and the
+// block scores (value at each block's last row) of the final column.
+func run(p peq, nb int, m int, text []byte, k int, store *[]column) ([]block, int, int, []int) {
+	blocksNeeded := func(j int) (int, int) {
+		lo := (j - k) / wordSize
+		if lo < 0 {
+			lo = 0
+		}
+		if lo > nb-1 {
+			lo = nb - 1
+		}
+		hi := (j + k) / wordSize
+		if hi > nb-1 {
+			hi = nb - 1
+		}
+		if hi < lo {
+			hi = lo
+		}
+		return lo, hi
+	}
+
+	blk := make([]block, nb)
+	score := make([]int, nb)
+	lo, hi := 0, -1
+	// Initialize the first column's band before any text character.
+	firstLo, firstHi := blocksNeeded(0)
+	_ = firstLo
+	for b := 0; b <= firstHi; b++ {
+		blk[b] = block{pv: ^uint64(0), mv: 0}
+		score[b] = (b + 1) * wordSize
+	}
+	hi = firstHi
+	lo = 0
+
+	for j := 0; j < len(text); j++ {
+		nlo, nhi := blocksNeeded(j)
+		// Extend the band downward: newly entering blocks start from
+		// the all-+1 upper-bound state at the previous column.
+		for b := hi + 1; b <= nhi; b++ {
+			blk[b] = block{pv: ^uint64(0), mv: 0}
+			score[b] = score[b-1] + wordSize
+		}
+		hi = nhi
+		lo = nlo
+
+		c := int(text[j])
+		hin := 1 // NW top boundary, or upper bound above the band
+		for b := lo; b <= hi; b++ {
+			eq := p[b*dna.Alphabet+c]
+			var hout int
+			blk[b].pv, blk[b].mv, hout = advanceBlock(blk[b].pv, blk[b].mv, eq, hin)
+			score[b] += hout
+			hin = hout
+		}
+		if store != nil {
+			saved := make([]block, hi-lo+1)
+			copy(saved, blk[lo:hi+1])
+			sc := make([]int, hi-lo+1)
+			copy(sc, score[lo:hi+1])
+			*store = append(*store, column{lo: lo, blocks: saved, scores: sc})
+		}
+	}
+	return blk, lo, hi, score
+}
+
+// finalScore converts the last block's boundary score into the score at the
+// real last query row, subtracting the padding rows' deltas.
+func finalScore(blk []block, score []int, m int) int {
+	b := (m - 1) / wordSize
+	s := score[b]
+	r := (m - 1) % wordSize
+	if r != wordSize-1 {
+		mask := ^uint64(0) << uint(r+1)
+		s -= bits.OnesCount64(blk[b].pv & mask)
+		s += bits.OnesCount64(blk[b].mv & mask)
+	}
+	return s
+}
+
+// Distance returns the global edit distance between query and ref, doubling
+// the Ukkonen band until the result is certain.
+func Distance(query, ref []byte) int {
+	d, _, _ := alignImpl(dna.EncodeSeq(query), dna.EncodeSeq(ref), false)
+	return d
+}
+
+// Align returns the global edit distance and an optimal alignment.
+func Align(query, ref []byte) (int, cigar.Cigar, error) {
+	d, cg, err := alignImpl(dna.EncodeSeq(query), dna.EncodeSeq(ref), true)
+	return d, cg, err
+}
+
+// AlignEncoded is Align on pre-encoded base codes.
+func AlignEncoded(query, ref []byte) (int, cigar.Cigar, error) {
+	return alignImpl(query, ref, true)
+}
+
+// DistanceEncoded is Distance on pre-encoded base codes.
+func DistanceEncoded(query, ref []byte) int {
+	d, _, _ := alignImpl(query, ref, false)
+	return d
+}
+
+func alignImpl(q, t []byte, wantCigar bool) (int, cigar.Cigar, error) {
+	m, n := len(q), len(t)
+	switch {
+	case m == 0 && n == 0:
+		return 0, nil, nil
+	case m == 0:
+		return n, cigar.Cigar{{Kind: cigar.Del, Len: n}}, nil
+	case n == 0:
+		return m, cigar.Cigar{{Kind: cigar.Ins, Len: m}}, nil
+	}
+	p, nb := buildPeq(q)
+
+	k := wordSize
+	if d := abs(m - n); d >= k {
+		k = d + 1
+	}
+	maxK := m + n
+	for {
+		var store []column
+		var storePtr *[]column
+		if wantCigar {
+			store = make([]column, 0, n)
+			storePtr = &store
+		}
+		blk, _, hi, score := run(p, nb, m, t, k, storePtr)
+		if hi == nb-1 {
+			d := finalScore(blk, score, m)
+			if d <= k {
+				if !wantCigar {
+					return d, nil, nil
+				}
+				cg, err := traceback(q, t, store, nb, d)
+				return d, cg, err
+			}
+		}
+		if k >= maxK {
+			// Unreachable: k = m+n always contains the answer.
+			return -1, nil, fmt.Errorf("edlib: band %d exhausted", k)
+		}
+		k *= 2
+		if k > maxK {
+			k = maxK
+		}
+	}
+}
+
+// cellValue returns the forward-pass DP value of cell (i, j) from the
+// stored column record: the stored block score minus the vertical deltas of
+// the rows below i inside the block. Cells in blocks below the stored band
+// read the substituted all-+1 region, matching what the forward automaton
+// actually used there. i == -1 addresses the top boundary row.
+func cellValue(col *column, i, j int) (int, error) {
+	if i < 0 {
+		return j + 1, nil
+	}
+	b := i / wordSize
+	idx := b - col.lo
+	if idx < 0 {
+		return 0, fmt.Errorf("edlib: traceback read above band (row %d, block lo %d)", i, col.lo)
+	}
+	if idx >= len(col.blocks) {
+		last := col.lo + len(col.blocks) - 1
+		lastRow := (last+1)*wordSize - 1
+		return col.scores[len(col.scores)-1] + (i - lastRow), nil
+	}
+	s := col.scores[idx]
+	r := i % wordSize
+	if r != wordSize-1 {
+		mask := ^uint64(0) << uint(r+1)
+		s -= bits.OnesCount64(col.blocks[idx].pv & mask)
+		s += bits.OnesCount64(col.blocks[idx].mv & mask)
+	}
+	return s, nil
+}
+
+// traceback reconstructs an optimal alignment from the stored per-column
+// automaton states by comparing explicit neighbour cell values.
+func traceback(q, t []byte, cols []column, nb int, d int) (cigar.Cigar, error) {
+	var rev cigar.Cigar
+	i, j := len(q)-1, len(t)-1
+	val := d
+	for i >= 0 && j >= 0 {
+		valUp, err := cellValue(&cols[j], i-1, j)
+		if err != nil {
+			return nil, err
+		}
+		var valLeft, valDiag int
+		if j == 0 {
+			valLeft = i + 1 // D(i, -1)
+			valDiag = i     // D(i-1, -1)
+		} else {
+			if valLeft, err = cellValue(&cols[j-1], i, j-1); err != nil {
+				return nil, err
+			}
+			if valDiag, err = cellValue(&cols[j-1], i-1, j-1); err != nil {
+				return nil, err
+			}
+		}
+		match := q[i] == t[j] && q[i] != dna.N
+		switch {
+		case match && valDiag == val:
+			rev = rev.Append(cigar.Match, 1)
+			i, j, val = i-1, j-1, valDiag
+		case valDiag+1 == val:
+			rev = rev.Append(cigar.Mismatch, 1)
+			i, j, val = i-1, j-1, valDiag
+		case valLeft+1 == val:
+			rev = rev.Append(cigar.Del, 1)
+			j, val = j-1, valLeft
+		case valUp+1 == val:
+			rev = rev.Append(cigar.Ins, 1)
+			i, val = i-1, valUp
+		default:
+			return nil, fmt.Errorf("edlib: traceback stuck at i=%d j=%d val=%d (up=%d left=%d diag=%d)",
+				i, j, val, valUp, valLeft, valDiag)
+		}
+	}
+	if j >= 0 {
+		rev = rev.Append(cigar.Del, j+1)
+	}
+	if i >= 0 {
+		rev = rev.Append(cigar.Ins, i+1)
+	}
+	return rev.Reverse(), nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

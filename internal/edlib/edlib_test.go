@@ -1,0 +1,238 @@
+package edlib
+
+import (
+	"math/rand"
+	"testing"
+
+	"genasm/internal/dna"
+	"genasm/internal/swg"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	alpha := []byte("ACGT")
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = alpha[rng.Intn(4)]
+	}
+	return s
+}
+
+func mutate(rng *rand.Rand, s []byte, rate float64) []byte {
+	alpha := []byte("ACGT")
+	out := make([]byte, 0, len(s)+8)
+	for _, b := range s {
+		r := rng.Float64()
+		switch {
+		case r < rate/3:
+			out = append(out, alpha[rng.Intn(4)])
+		case r < 2*rate/3:
+		case r < rate:
+			out = append(out, b, alpha[rng.Intn(4)])
+		default:
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func TestDistanceBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"A", "", 1},
+		{"", "ACG", 3},
+		{"ACGT", "ACGT", 0},
+		{"ACGT", "AGGT", 1},
+		{"ACGT", "AGT", 1},
+		{"ACGT", "TACGT", 1},
+		{"AAAA", "TTTT", 4},
+	}
+	for _, c := range cases {
+		if got := Distance([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("Distance(%q,%q) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistanceMatchesGoldStandardShort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 300; iter++ {
+		a := randSeq(rng, rng.Intn(150))
+		var b []byte
+		if iter%3 == 0 {
+			b = randSeq(rng, rng.Intn(150))
+		} else {
+			b = mutate(rng, a, 0.3)
+		}
+		want := swg.EditDistance(a, b)
+		if got := Distance(a, b); got != want {
+			t.Fatalf("iter %d (m=%d n=%d): %d want %d", iter, len(a), len(b), got, want)
+		}
+	}
+}
+
+func TestDistanceCrossesWordBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range []int{63, 64, 65, 127, 128, 129, 300} {
+		for iter := 0; iter < 10; iter++ {
+			a := randSeq(rng, m)
+			b := mutate(rng, a, 0.15)
+			want := swg.EditDistance(a, b)
+			if got := Distance(a, b); got != want {
+				t.Fatalf("m=%d iter %d: %d want %d", m, iter, got, want)
+			}
+		}
+	}
+}
+
+func TestDistanceHighDivergenceForcesBandDoubling(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Random vs random: distance far above the initial band of 64.
+	a := randSeq(rng, 400)
+	b := randSeq(rng, 350)
+	want := swg.EditDistance(a, b)
+	if want <= 64 {
+		t.Fatalf("test setup: distance %d too small", want)
+	}
+	if got := Distance(a, b); got != want {
+		t.Fatalf("%d want %d", got, want)
+	}
+}
+
+func TestDistanceVeryUnequalLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randSeq(rng, 30)
+	b := append(append([]byte{}, a...), randSeq(rng, 500)...)
+	want := swg.EditDistance(a, b)
+	if got := Distance(a, b); got != want {
+		t.Fatalf("%d want %d", got, want)
+	}
+	// And the transpose.
+	if got := Distance(b, a); got != want {
+		t.Fatalf("transposed: %d want %d", got, want)
+	}
+}
+
+func TestAlignProducesOptimalValidCigar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		a := randSeq(rng, 1+rng.Intn(200))
+		b := mutate(rng, a, 0.25)
+		d, cg, err := Align(a, b)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if want := swg.EditDistance(a, b); d != want {
+			t.Fatalf("iter %d: distance %d want %d", iter, d, want)
+		}
+		if err := cg.Check(a, b); err != nil {
+			t.Fatalf("iter %d: cigar: %v", iter, err)
+		}
+		if cg.EditCost() != d {
+			t.Fatalf("iter %d: cigar cost %d != %d", iter, cg.EditCost(), d)
+		}
+	}
+}
+
+func TestAlignEmpty(t *testing.T) {
+	d, cg, err := Align(nil, []byte("ACG"))
+	if err != nil || d != 3 || cg.String() != "3D" {
+		t.Fatalf("%d %s %v", d, cg, err)
+	}
+	d, cg, err = Align([]byte("AC"), nil)
+	if err != nil || d != 2 || cg.String() != "2I" {
+		t.Fatalf("%d %s %v", d, cg, err)
+	}
+	d, cg, err = Align(nil, nil)
+	if err != nil || d != 0 || len(cg) != 0 {
+		t.Fatalf("%d %v %v", d, cg, err)
+	}
+}
+
+func TestNNeverMatches(t *testing.T) {
+	if got := Distance([]byte("ANNA"), []byte("ANNA")); got != 2 {
+		t.Fatalf("N-vs-N distance %d want 2", got)
+	}
+}
+
+func TestAlignLongRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randSeq(rng, 5000)
+	b := mutate(rng, a, 0.10)
+	d, cg, err := Align(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cg.Check(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if cg.EditCost() != d {
+		t.Fatalf("cost %d != %d", cg.EditCost(), d)
+	}
+	// ~10%/3-per-kind mutation => distance around 6-7% of the length.
+	if d < 100 || d > 900 {
+		t.Fatalf("implausible distance %d for 10%% error 5kb read", d)
+	}
+}
+
+func TestAdvanceBlockAgainstScalarDP(t *testing.T) {
+	// One 64-row block computed by advanceBlock must equal the scalar DP
+	// column deltas, for every hin.
+	rng := rand.New(rand.NewSource(7))
+	q := randSeq(rng, 64)
+	p, _ := buildPeq(dna.EncodeSeq(q))
+	for _, hin := range []int{-1, 0, 1} {
+		// Scalar reference: column c0 = 1..64 (NW boundary), one text
+		// char step with boundary delta hin.
+		prev := make([]int, 65)
+		for i := range prev {
+			prev[i] = i
+		}
+		cur := make([]int, 65)
+		cur[0] = prev[0] + hin
+		tc := byte(2) // 'G'
+		for i := 1; i <= 64; i++ {
+			best := prev[i-1]
+			if q[i-1] != "ACGT"[tc] {
+				best++
+			}
+			if v := prev[i] + 1; v < best {
+				best = v
+			}
+			if v := cur[i-1] + 1; v < best {
+				best = v
+			}
+			cur[i] = best
+		}
+		pv, mv, hout := advanceBlock(^uint64(0), 0, p[int(tc)], hin)
+		if wantHout := cur[64] - prev[64]; hout != wantHout {
+			t.Fatalf("hin=%d: hout %d want %d", hin, hout, wantHout)
+		}
+		for i := 1; i <= 64; i++ {
+			want := cur[i] - cur[i-1]
+			got := 0
+			if pv>>(uint(i-1))&1 != 0 {
+				got = 1
+			} else if mv>>(uint(i-1))&1 != 0 {
+				got = -1
+			}
+			if got != want {
+				t.Fatalf("hin=%d row %d: delta %d want %d", hin, i, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkAlign5kb(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	q := randSeq(rng, 5000)
+	r := mutate(rng, q, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Align(q, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,421 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"genasm/internal/baseline"
+	"genasm/internal/core"
+	"genasm/internal/edlib"
+	"genasm/internal/gpualign"
+	"genasm/internal/ksw2"
+	"genasm/internal/stats"
+	"genasm/internal/swg"
+)
+
+// runCounters aligns every pair with the given aligner constructor and
+// aggregates memory counters.
+func runCounters(w *Workload, mk func() (counterAligner, error)) (stats.Counters, error) {
+	var agg stats.Counters
+	a, err := mk()
+	if err != nil {
+		return agg, err
+	}
+	var c stats.Counters
+	a.setCounters(&c)
+	for _, p := range w.Pairs {
+		if _, err := a.alignEncoded(p.Query, p.Ref); err != nil {
+			return agg, err
+		}
+	}
+	agg = c
+	return agg, nil
+}
+
+type counterAligner interface {
+	alignEncoded(q, t []byte) (core.Result, error)
+	setCounters(c *stats.Counters)
+}
+
+type improvedCA struct{ a *core.Aligner }
+
+func (x improvedCA) alignEncoded(q, t []byte) (core.Result, error) { return x.a.AlignEncoded(q, t) }
+func (x improvedCA) setCounters(c *stats.Counters)                 { x.a.SetCounters(c) }
+
+type unimprovedCA struct{ a *baseline.Aligner }
+
+func (x unimprovedCA) alignEncoded(q, t []byte) (core.Result, error) { return x.a.AlignEncoded(q, t) }
+func (x unimprovedCA) setCounters(c *stats.Counters)                 { x.a.SetCounters(c) }
+
+func newImproved(cfg core.Config) func() (counterAligner, error) {
+	return func() (counterAligner, error) {
+		a, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return improvedCA{a}, nil
+	}
+}
+
+func newUnimproved() func() (counterAligner, error) {
+	return func() (counterAligner, error) {
+		a, err := baseline.New(baseline.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return unimprovedCA{a}, nil
+	}
+}
+
+// E1MemoryFootprint reproduces the paper's "24x smaller memory footprint":
+// the peak per-window DP working set of improved vs unimproved GenASM.
+func E1MemoryFootprint(w *Workload) (*Table, error) {
+	imp, err := runCounters(w, newImproved(core.DefaultConfig()))
+	if err != nil {
+		return nil, err
+	}
+	unimp, err := runCounters(w, newUnimproved())
+	if err != nil {
+		return nil, err
+	}
+	ratio := unimp.MeanWindowFootprintBits() / imp.MeanWindowFootprintBits()
+	peakRatio := float64(unimp.PeakFootprintBits) / float64(imp.PeakFootprintBits)
+	return &Table{
+		ID:     "E1",
+		Title:  "DP-table memory footprint per window (paper: 24x reduction)",
+		Header: []string{"algorithm", "mean footprint (bits)", "peak footprint (bits)"},
+		Rows: [][]string{
+			{"GenASM (unimproved)", fmt.Sprintf("%.0f", unimp.MeanWindowFootprintBits()), fmt.Sprint(unimp.PeakFootprintBits)},
+			{"GenASM (improved)", fmt.Sprintf("%.0f", imp.MeanWindowFootprintBits()), fmt.Sprint(imp.PeakFootprintBits)},
+			{"reduction", fmt.Sprintf("%.1fx", ratio), fmt.Sprintf("%.1fx", peakRatio)},
+		},
+		Notes: []string{
+			"mean is the typical per-window working set (what a GPU block provisions); peaks are inflated by rare error-budget-doubling retries on false candidate locations",
+			"paper reports 24x with its window parameters; the realized factor depends on k and the per-window distance d*",
+		},
+	}, nil
+}
+
+// E2MemoryAccesses reproduces the paper's "12x fewer memory accesses":
+// word-granular DP-table reads+writes during DC and traceback.
+func E2MemoryAccesses(w *Workload) (*Table, error) {
+	imp, err := runCounters(w, newImproved(core.DefaultConfig()))
+	if err != nil {
+		return nil, err
+	}
+	unimp, err := runCounters(w, newUnimproved())
+	if err != nil {
+		return nil, err
+	}
+	ratio := float64(unimp.Accesses()) / float64(imp.Accesses())
+	byteRatio := float64(unimp.TrafficBytes()) / float64(imp.TrafficBytes())
+	rowsSkipped := float64(imp.RowsSkipped) / float64(imp.RowsComputed+imp.RowsSkipped)
+	return &Table{
+		ID:     "E2",
+		Title:  "DP-table memory accesses (paper: 12x reduction)",
+		Header: []string{"algorithm", "writes", "reads", "total", "traffic (bytes)"},
+		Rows: [][]string{
+			{"GenASM (unimproved)", fmt.Sprint(unimp.TableWrites), fmt.Sprint(unimp.TableReads), fmt.Sprint(unimp.Accesses()), fmt.Sprint(unimp.TrafficBytes())},
+			{"GenASM (improved)", fmt.Sprint(imp.TableWrites), fmt.Sprint(imp.TableReads), fmt.Sprint(imp.Accesses()), fmt.Sprint(imp.TrafficBytes())},
+			{"reduction", "", "", fmt.Sprintf("%.1fx", ratio), fmt.Sprintf("%.1fx", byteRatio)},
+		},
+		Notes: []string{
+			fmt.Sprintf("early termination skipped %.0f%% of error-level rows", 100*rowsSkipped),
+			"the paper counts memory traffic; banded improved entries are packed sub-word stores, so the byte ratio is the comparable number",
+		},
+	}, nil
+}
+
+// cpuAligner is one named competitor in E3.
+type cpuAligner struct {
+	Name string
+	// New returns a per-goroutine alignment function.
+	New func() (func(q, t []byte) error, error)
+}
+
+// CPUAligners returns the paper's CPU competitor set. SWG is included as
+// the quadratic-DP reference the introduction motivates against (score
+// only; its full-matrix traceback would not fit memory at 10 kb).
+func CPUAligners(includeSWG bool) []cpuAligner {
+	out := []cpuAligner{
+		{
+			Name: "GenASM-improved",
+			New: func() (func(q, t []byte) error, error) {
+				a, err := core.New(core.DefaultConfig())
+				if err != nil {
+					return nil, err
+				}
+				return func(q, t []byte) error { _, err := a.AlignEncoded(q, t); return err }, nil
+			},
+		},
+		{
+			Name: "GenASM-unimproved",
+			New: func() (func(q, t []byte) error, error) {
+				a, err := baseline.New(baseline.DefaultConfig())
+				if err != nil {
+					return nil, err
+				}
+				return func(q, t []byte) error { _, err := a.AlignEncoded(q, t); return err }, nil
+			},
+		},
+		{
+			Name: "Edlib",
+			New: func() (func(q, t []byte) error, error) {
+				return func(q, t []byte) error { _, _, err := edlib.AlignEncoded(q, t); return err }, nil
+			},
+		},
+		{
+			Name: "KSW2",
+			New: func() (func(q, t []byte) error, error) {
+				p := ksw2.DefaultParams()
+				return func(q, t []byte) error { _, _, err := ksw2.GlobalAlignEncoded(q, t, p); return err }, nil
+			},
+		},
+	}
+	if includeSWG {
+		out = append(out, cpuAligner{
+			Name: "SWG (full DP, score only)",
+			New: func() (func(q, t []byte) error, error) {
+				return func(q, t []byte) error {
+					swg.AffineScore(decode(q), decode(t), ksw2.DefaultParams().Penalties)
+					return nil
+				}, nil
+			},
+		})
+	}
+	return out
+}
+
+func decode(codes []byte) []byte {
+	out := make([]byte, len(codes))
+	const alpha = "ACGTN"
+	for i, c := range codes {
+		out[i] = alpha[c]
+	}
+	return out
+}
+
+// timeAligner measures wall time aligning all pairs with `threads`
+// goroutines.
+func timeAligner(w *Workload, a cpuAligner, threads int) (time.Duration, error) {
+	if threads < 1 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	jobs := make(chan int, len(w.Pairs))
+	for i := range w.Pairs {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	errs := make([]error, threads)
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			fn, err := a.New()
+			if err != nil {
+				errs[t] = err
+				return
+			}
+			for i := range jobs {
+				if err := fn(w.Pairs[i].Query, w.Pairs[i].Ref); err != nil {
+					errs[t] = err
+					return
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return el, nil
+}
+
+// E3CPU reproduces the paper's CPU comparison: improved GenASM vs KSW2
+// (paper 15.2x), Edlib (1.7x) and unimproved GenASM (1.9x).
+func E3CPU(w *Workload, threads int, includeSWG bool) (*Table, map[string]time.Duration, error) {
+	times := map[string]time.Duration{}
+	tab := &Table{
+		ID:     "E3",
+		Title:  fmt.Sprintf("CPU alignment time, %d pairs / %d query bases (paper speedups vs improved: KSW2 15.2x, Edlib 1.7x, unimproved 1.9x)", len(w.Pairs), w.TotalBases),
+		Header: []string{"aligner", "time", "pairs/s", "speedup of improved"},
+	}
+	for _, a := range CPUAligners(includeSWG) {
+		el, err := timeAligner(w, a, threads)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		times[a.Name] = el
+	}
+	ref := times["GenASM-improved"]
+	for _, a := range CPUAligners(includeSWG) {
+		el := times[a.Name]
+		tab.Rows = append(tab.Rows, []string{
+			a.Name,
+			el.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", float64(len(w.Pairs))/el.Seconds()),
+			fmt.Sprintf("%.1fx", el.Seconds()/ref.Seconds()),
+		})
+	}
+	return tab, times, nil
+}
+
+// E4GPU reproduces the paper's GPU comparison on the simulated A6000:
+// improved-GPU vs improved-CPU (paper 4.1x), vs unimproved-GPU (5.9x), and
+// vs the CPU baselines (KSW2 62x, Edlib 7.2x).
+func E4GPU(w *Workload, cpuTimes map[string]time.Duration) (*Table, error) {
+	imp, err := gpualign.AlignBatch(w.Pairs, gpualign.DefaultConfig(gpualign.Improved))
+	if err != nil {
+		return nil, err
+	}
+	unimp, err := gpualign.AlignBatch(w.Pairs, gpualign.DefaultConfig(gpualign.Unimproved))
+	if err != nil {
+		return nil, err
+	}
+	tab := &Table{
+		ID:     "E4",
+		Title:  "GPU (simulated A6000) vs CPU (paper: 4.1x vs own CPU, 5.9x vs unimproved GPU, 62x vs KSW2, 7.2x vs Edlib)",
+		Header: []string{"configuration", "time", "pairs/s", "speedup of improved GPU"},
+	}
+	gi := imp.Launch.Seconds
+	row := func(name string, sec float64) {
+		tab.Rows = append(tab.Rows, []string{
+			name,
+			(time.Duration(sec * float64(time.Second))).Round(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", float64(len(w.Pairs))/sec),
+			fmt.Sprintf("%.1fx", sec/gi),
+		})
+	}
+	row("GenASM-improved GPU", gi)
+	row("GenASM-unimproved GPU", unimp.Launch.Seconds)
+	for _, name := range []string{"GenASM-improved", "GenASM-unimproved", "Edlib", "KSW2"} {
+		if el, ok := cpuTimes[name]; ok {
+			row(name+" CPU", el.Seconds())
+		}
+	}
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("improved kernel: %d/%d blocks in shared memory; unimproved: %d/%d spilled to L2",
+			imp.SharedBlocks, len(w.Pairs), unimp.SpilledBlocks, len(w.Pairs)),
+		"GPU times come from the cycle-accurate-ish cost model in internal/gpu; CPU times are measured wall clock (scalar Go), so cross-domain ratios are larger than the paper's SIMD-C vs CUDA ratios",
+	)
+	return tab, nil
+}
+
+// A1Ablation toggles each improvement separately (the paper's claim that
+// the improvements are what make GenASM outrun Edlib).
+func A1Ablation(w *Workload, threads int) (*Table, error) {
+	cfgs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"all improvements (SENE+DENT+ET)", core.DefaultConfig()},
+		{"SENE+DENT (no ET)", func() core.Config { c := core.DefaultConfig(); c.DisableET = true; return c }()},
+		{"SENE+ET (no DENT)", func() core.Config { c := core.DefaultConfig(); c.DisableDENT = true; return c }()},
+		{"SENE only", func() core.Config {
+			c := core.DefaultConfig()
+			c.DisableDENT, c.DisableET = true, true
+			return c
+		}()},
+		{"none (edge storage, no ET)", func() core.Config {
+			c := core.DefaultConfig()
+			c.DisableSENE, c.DisableDENT, c.DisableET = true, true, true
+			return c
+		}()},
+	}
+	tab := &Table{
+		ID:     "A1",
+		Title:  "Ablation: contribution of each improvement",
+		Header: []string{"configuration", "time", "peak footprint (bits)", "accesses"},
+	}
+	for _, c := range cfgs {
+		cfg := c.cfg
+		al := cpuAligner{Name: c.name, New: func() (func(q, t []byte) error, error) {
+			a, err := core.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return func(q, t []byte) error { _, err := a.AlignEncoded(q, t); return err }, nil
+		}}
+		el, err := timeAligner(w, al, threads)
+		if err != nil {
+			return nil, err
+		}
+		ctr, err := runCounters(w, newImproved(cfg))
+		if err != nil {
+			return nil, err
+		}
+		tab.Rows = append(tab.Rows, []string{
+			c.name, el.Round(time.Millisecond).String(),
+			fmt.Sprint(ctr.PeakFootprintBits), fmt.Sprint(ctr.Accesses()),
+		})
+	}
+	return tab, nil
+}
+
+// A2WindowSweep measures sensitivity to window size and overlap.
+func A2WindowSweep(w *Workload, threads int) (*Table, error) {
+	tab := &Table{
+		ID:     "A2",
+		Title:  "Window geometry sweep (accuracy vs speed)",
+		Header: []string{"W", "O", "k", "time", "mean distance/base"},
+	}
+	for _, geo := range []struct{ W, O, K int }{
+		{32, 12, 8}, {64, 24, 12}, {64, 32, 12}, {128, 48, 20},
+	} {
+		cfg := core.Config{W: geo.W, O: geo.O, InitialK: geo.K}
+		var total int64
+		var mu sync.Mutex
+		al := cpuAligner{New: func() (func(q, t []byte) error, error) {
+			a, err := core.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return func(q, t []byte) error {
+				r, err := a.AlignEncoded(q, t)
+				if err == nil {
+					mu.Lock()
+					total += int64(r.Distance)
+					mu.Unlock()
+				}
+				return err
+			}, nil
+		}}
+		el, err := timeAligner(w, al, threads)
+		if err != nil {
+			return nil, err
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprint(geo.W), fmt.Sprint(geo.O), fmt.Sprint(geo.K),
+			el.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.4f", float64(total)/float64(w.TotalBases)),
+		})
+	}
+	tab.Notes = append(tab.Notes,
+		"larger overlap lowers the committed distance (closer to optimal) at higher cost; W=64/O=24 is the paper's setting")
+	return tab, nil
+}
+
+// A3ShortReads reruns the CPU comparison on an Illumina-like workload
+// (the paper claims both short and long reads are supported).
+func A3ShortReads(threads int) (*Table, error) {
+	cfg := WorkloadConfig{GenomeLen: 500_000, Reads: 400, ReadLen: 150,
+		ErrorRate: 0.02, Seed: 11, ShortReads: true}
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tab, _, err := E3CPU(w, threads, false)
+	if err != nil {
+		return nil, err
+	}
+	tab.ID = "A3"
+	tab.Title = "Short reads (150 bp, 2% error): " + tab.Title
+	return tab, nil
+}

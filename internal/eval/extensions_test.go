@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallWorkload(t *testing.T) *Workload {
+	t.Helper()
+	cfg := QuickWorkload()
+	cfg.MaxPairs = 10
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestA4AccuracyExactNeverWorse(t *testing.T) {
+	w := smallWorkload(t)
+	tab, err := A4Accuracy(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	// Exact row must report +0.00% excess.
+	if !strings.HasPrefix(tab.Rows[0][2], "+0.00") {
+		t.Fatalf("exact excess %q", tab.Rows[0][2])
+	}
+	// GenASM improved and unimproved must report identical accuracy
+	// (same algorithm output).
+	if tab.Rows[1][1] != tab.Rows[2][1] {
+		t.Fatalf("improved %q != unimproved %q", tab.Rows[1][1], tab.Rows[2][1])
+	}
+}
+
+func TestA5OccupancySweep(t *testing.T) {
+	w := smallWorkload(t)
+	tab, err := A5OccupancySweep(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	// At 32 blocks/SM the allocation is ~3.1 KiB: typical windows
+	// (~1.9 KiB) still fit, but the sweep must show a monotone shrink of
+	// the allocation column.
+	if tab.Rows[0][1] <= tab.Rows[4][1] && tab.Rows[0][1] != tab.Rows[4][1] {
+		t.Fatalf("allocation did not shrink: %v vs %v", tab.Rows[0], tab.Rows[4])
+	}
+}
+
+func TestA6Devices(t *testing.T) {
+	w := smallWorkload(t)
+	tab, err := A6Devices(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if !strings.HasSuffix(row[3], "x") {
+			t.Fatalf("missing speedup in %v", row)
+		}
+	}
+}
+
+func TestSWGReferenceRuns(t *testing.T) {
+	w := smallWorkload(t)
+	el, err := SWGReference(w)
+	if err != nil || el <= 0 {
+		t.Fatalf("el=%v err=%v", el, err)
+	}
+}
+
+func TestA7ThreadScaling(t *testing.T) {
+	w := smallWorkload(t)
+	tab, err := A7ThreadScaling(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 { // 1, 2, 4
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	if tab.Rows[0][3] != "1.00x" {
+		t.Fatalf("baseline scaling %q", tab.Rows[0][3])
+	}
+}

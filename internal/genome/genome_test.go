@@ -1,0 +1,128 @@
+package genome
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig(10000))
+	b := Generate(DefaultConfig(10000))
+	if !bytes.Equal(a.Seq, b.Seq) {
+		t.Fatal("same seed produced different genomes")
+	}
+	c := Generate(Config{Length: 10000, Seed: 2})
+	if bytes.Equal(a.Seq, c.Seq) {
+		t.Fatal("different seeds produced identical genomes")
+	}
+}
+
+func TestGenerateLengthAndAlphabet(t *testing.T) {
+	g := Generate(DefaultConfig(5000))
+	if len(g.Seq) != 5000 {
+		t.Fatalf("length %d want 5000", len(g.Seq))
+	}
+	for i, b := range g.Seq {
+		switch b {
+		case 'A', 'C', 'G', 'T':
+		default:
+			t.Fatalf("non-ACGT byte %q at %d", b, i)
+		}
+	}
+}
+
+func TestGenerateGCBias(t *testing.T) {
+	cfg := DefaultConfig(200000)
+	cfg.RepeatFraction = 0
+	g := Generate(cfg)
+	gc := GCContent(g.Seq)
+	if math.Abs(gc-0.41) > 0.01 {
+		t.Fatalf("GC %f want ~0.41", gc)
+	}
+}
+
+func TestGenerateRepeatsCreateDuplicates(t *testing.T) {
+	// With repeats on, some 64-mers must occur more than once; with
+	// repeats off at this scale, duplicate 64-mers are vanishingly rare.
+	count64 := func(seq []byte) int {
+		seen := map[string]bool{}
+		dup := 0
+		for i := 0; i+64 <= len(seq); i += 16 {
+			s := string(seq[i : i+64])
+			if seen[s] {
+				dup++
+			}
+			seen[s] = true
+		}
+		return dup
+	}
+	with := Generate(Config{Length: 100000, RepeatFraction: 0.4, RepeatUnit: 600, Seed: 3})
+	without := Generate(Config{Length: 100000, RepeatFraction: 0, Seed: 3})
+	if count64(with.Seq) == 0 {
+		t.Fatal("repeat genome has no duplicated 64-mers")
+	}
+	if count64(without.Seq) != 0 {
+		t.Fatal("repeat-free genome has duplicated 64-mers")
+	}
+}
+
+func TestGenerateEdgeCases(t *testing.T) {
+	if g := Generate(Config{Length: 0}); len(g.Seq) != 0 {
+		t.Fatal("zero length")
+	}
+	g := Generate(Config{Length: 30, RepeatFraction: 0.5, RepeatUnit: 100, Seed: 1})
+	if len(g.Seq) != 30 {
+		t.Fatal("tiny genome with oversized repeat unit")
+	}
+}
+
+func TestGCContent(t *testing.T) {
+	if GCContent(nil) != 0 {
+		t.Fatal("empty GC")
+	}
+	if got := GCContent([]byte("GGCC")); got != 1 {
+		t.Fatalf("GC = %f", got)
+	}
+	if got := GCContent([]byte("GCat")); got != 0.5 {
+		t.Fatalf("GC = %f", got)
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	recs := []Record{
+		{Name: "chr1", Seq: bytes.Repeat([]byte("ACGT"), 50)},
+		{Name: "chr2", Seq: []byte("GATTACA")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Name != "chr1" || back[1].Name != "chr2" {
+		t.Fatalf("records %+v", back)
+	}
+	if !bytes.Equal(back[0].Seq, recs[0].Seq) || !bytes.Equal(back[1].Seq, recs[1].Seq) {
+		t.Fatal("sequence mismatch after round trip")
+	}
+}
+
+func TestReadFASTAHeaderWithDescription(t *testing.T) {
+	recs, err := ReadFASTA(strings.NewReader(">chr1 some description here\nACGT\nACGT\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Name != "chr1" || string(recs[0].Seq) != "ACGTACGT" {
+		t.Fatalf("%+v", recs[0])
+	}
+}
+
+func TestReadFASTARejectsHeaderlessSequence(t *testing.T) {
+	if _, err := ReadFASTA(strings.NewReader("ACGT\n")); err == nil {
+		t.Fatal("accepted sequence before header")
+	}
+}

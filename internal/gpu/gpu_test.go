@@ -1,0 +1,176 @@
+package gpu
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func smallDevice() DeviceConfig {
+	return DeviceConfig{
+		Name: "test-gpu", SMs: 4, ClockGHz: 1.0, WarpSize: 32,
+		SharedMemPerSM: 64 << 10, MaxBlocksPerSM: 8,
+		SharedWordsPerCycle: 16, L2CostPerWord: 4,
+		L2BytesPerCycle: 1000, DRAMBytesPerCycle: 500,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := A6000().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := A6000()
+	bad.SMs = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted 0 SMs")
+	}
+	bad = A6000()
+	bad.ClockGHz = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted 0 clock")
+	}
+	bad = A6000()
+	bad.SharedMemPerSM = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted no shared memory")
+	}
+}
+
+func TestLaunchRunsEveryBlockExactlyOnce(t *testing.T) {
+	d, err := NewDevice(smallDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	var ran [n]atomic.Int32
+	st, err := d.Launch(n, 0, func(i int) BlockCost {
+		ran[i].Add(1)
+		return BlockCost{ALUCycles: 100}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if ran[i].Load() != 1 {
+			t.Fatalf("block %d ran %d times", i, ran[i].Load())
+		}
+	}
+	if st.Blocks != n {
+		t.Fatalf("blocks %d", st.Blocks)
+	}
+}
+
+func TestMakespanBounds(t *testing.T) {
+	d, _ := NewDevice(smallDevice())
+	const n = 1000
+	const per = 100
+	st, err := d.Launch(n, 0, func(i int) BlockCost { return BlockCost{ALUCycles: per} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := uint64(st.Slots)
+	lower := uint64(n) * per / slots
+	upper := lower + per
+	if st.MakespanCycles < lower || st.MakespanCycles > upper {
+		t.Fatalf("makespan %d outside [%d,%d]", st.MakespanCycles, lower, upper)
+	}
+	if st.ComputeCycles != n*per {
+		t.Fatalf("compute cycles %d want %d", st.ComputeCycles, n*per)
+	}
+}
+
+func TestOccupancyLimitedByShared(t *testing.T) {
+	cfg := smallDevice()
+	d, _ := NewDevice(cfg)
+	// 64 KiB per SM / 16 KiB per block = 4 blocks/SM.
+	st, err := d.Launch(10, 16<<10, func(i int) BlockCost { return BlockCost{ALUCycles: 1} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksPerSM != 4 {
+		t.Fatalf("blocksPerSM %d want 4", st.BlocksPerSM)
+	}
+	if st.Slots != 16 {
+		t.Fatalf("slots %d want 16", st.Slots)
+	}
+	// Tiny allocation: capped by MaxBlocksPerSM.
+	st, _ = d.Launch(10, 16, func(i int) BlockCost { return BlockCost{ALUCycles: 1} })
+	if st.BlocksPerSM != cfg.MaxBlocksPerSM {
+		t.Fatalf("blocksPerSM %d want %d", st.BlocksPerSM, cfg.MaxBlocksPerSM)
+	}
+}
+
+func TestOversizedSharedAllocationRejected(t *testing.T) {
+	d, _ := NewDevice(smallDevice())
+	if _, err := d.Launch(1, 1<<20, func(i int) BlockCost { return BlockCost{} }); err == nil {
+		t.Fatal("accepted block larger than SM shared memory")
+	}
+}
+
+func TestBandwidthFloors(t *testing.T) {
+	d, _ := NewDevice(smallDevice())
+	// Heavy L2 traffic, trivial compute: makespan must hit the L2 floor.
+	st, err := d.Launch(100, 0, func(i int) BlockCost {
+		return BlockCost{ALUCycles: 1, L2Words: 0, DRAMBytes: 10_000_000}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFloor := uint64(100 * 10_000_000 / 500)
+	if st.DRAMFloorCycles != wantFloor {
+		t.Fatalf("DRAM floor %d want %d", st.DRAMFloorCycles, wantFloor)
+	}
+	if st.MakespanCycles < wantFloor {
+		t.Fatalf("makespan %d below DRAM floor %d", st.MakespanCycles, wantFloor)
+	}
+}
+
+func TestSharedVsL2Cost(t *testing.T) {
+	d, _ := NewDevice(smallDevice())
+	shared, _ := d.Launch(64, 0, func(i int) BlockCost {
+		return BlockCost{SharedWords: 1 << 20}
+	})
+	spilled, _ := d.Launch(64, 0, func(i int) BlockCost {
+		return BlockCost{L2Words: 1 << 20}
+	})
+	if spilled.MakespanCycles <= shared.MakespanCycles {
+		t.Fatalf("L2 traffic (%d cycles) not slower than shared (%d cycles)",
+			spilled.MakespanCycles, shared.MakespanCycles)
+	}
+}
+
+func TestLaunchDeterministic(t *testing.T) {
+	d, _ := NewDevice(smallDevice())
+	run := func() LaunchStats {
+		st, err := d.Launch(777, 4096, func(i int) BlockCost {
+			return BlockCost{ALUCycles: uint64(10 + i%97), SharedWords: uint64(i % 13)}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic launch: %+v vs %+v", a, b)
+	}
+}
+
+func TestZeroBlocks(t *testing.T) {
+	d, _ := NewDevice(smallDevice())
+	st, err := d.Launch(0, 0, func(i int) BlockCost { return BlockCost{} })
+	if err != nil || st.MakespanCycles != 0 || st.Seconds != 0 {
+		t.Fatalf("%+v err=%v", st, err)
+	}
+}
+
+func TestThroughputAndSeconds(t *testing.T) {
+	d, _ := NewDevice(smallDevice())
+	st, _ := d.Launch(32, 0, func(i int) BlockCost { return BlockCost{ALUCycles: 1000} })
+	wantSec := float64(st.MakespanCycles) / 1e9
+	if st.Seconds != wantSec {
+		t.Fatalf("seconds %g want %g", st.Seconds, wantSec)
+	}
+	if st.Throughput() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}

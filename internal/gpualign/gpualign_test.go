@@ -1,0 +1,190 @@
+package gpualign
+
+import (
+	"math/rand"
+	"testing"
+
+	"genasm/internal/baseline"
+	"genasm/internal/core"
+	"genasm/internal/dna"
+	"genasm/internal/genome"
+	"genasm/internal/readsim"
+)
+
+// makePairs builds (read, candidate region) pairs from the simulator
+// substrates, in base codes.
+func makePairs(t testing.TB, n, readLen int, errRate float64) []Pair {
+	t.Helper()
+	ref := genome.Generate(genome.DefaultConfig(200000)).Seq
+	p := readsim.PacBioCLR()
+	p.MeanLength, p.LengthSD = readLen, readLen/8
+	p.ErrorRate, p.RevCompFrac = errRate, 0
+	reads, err := readsim.Simulate(ref, n, p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := make([]Pair, 0, n)
+	for _, r := range reads {
+		end := r.Pos + r.RefSpan + 64
+		if end > len(ref) {
+			end = len(ref)
+		}
+		pairs = append(pairs, Pair{
+			Query: dna.EncodeSeq(r.Seq),
+			Ref:   dna.EncodeSeq(ref[r.Pos:end]),
+		})
+	}
+	return pairs
+}
+
+func TestGPUResultsIdenticalToCPUImproved(t *testing.T) {
+	pairs := makePairs(t, 12, 1200, 0.1)
+	res, err := AlignBatch(pairs, DefaultConfig(Improved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		want, err := cpu.AlignEncoded(p.Query, p.Ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Results[i]
+		if got.Distance != want.Distance || got.Cigar.String() != want.Cigar.String() {
+			t.Fatalf("pair %d: GPU %d %q vs CPU %d %q",
+				i, got.Distance, got.Cigar, want.Distance, want.Cigar)
+		}
+	}
+}
+
+func TestGPUResultsIdenticalToCPUUnimproved(t *testing.T) {
+	pairs := makePairs(t, 8, 800, 0.1)
+	res, err := AlignBatch(pairs, DefaultConfig(Unimproved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := baseline.New(baseline.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		want, err := cpu.AlignEncoded(p.Query, p.Ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Results[i].Distance != want.Distance {
+			t.Fatalf("pair %d: GPU %d vs CPU %d", i, res.Results[i].Distance, want.Distance)
+		}
+	}
+}
+
+func TestImprovedFitsSharedUnimprovedSpills(t *testing.T) {
+	pairs := makePairs(t, 10, 1000, 0.1)
+	imp, err := AlignBatch(pairs, DefaultConfig(Improved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.SpilledBlocks != 0 {
+		t.Fatalf("improved kernel spilled %d/%d blocks", imp.SpilledBlocks, len(pairs))
+	}
+	unimp, err := AlignBatch(pairs, DefaultConfig(Unimproved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unimp.SharedBlocks != 0 {
+		t.Fatalf("unimproved kernel fit %d/%d blocks in shared memory", unimp.SharedBlocks, len(pairs))
+	}
+}
+
+func TestImprovedFasterThanUnimprovedOnDevice(t *testing.T) {
+	pairs := makePairs(t, 24, 2000, 0.1)
+	imp, err := AlignBatch(pairs, DefaultConfig(Improved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unimp, err := AlignBatch(pairs, DefaultConfig(Unimproved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Launch.Seconds*2 >= unimp.Launch.Seconds {
+		t.Fatalf("improved GPU (%.3gs) not >=2x faster than unimproved (%.3gs)",
+			imp.Launch.Seconds, unimp.Launch.Seconds)
+	}
+}
+
+func TestBatchAggregatesCounters(t *testing.T) {
+	pairs := makePairs(t, 5, 500, 0.08)
+	res, err := AlignBatch(pairs, DefaultConfig(Improved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.TableWrites == 0 || res.Counters.Windows == 0 {
+		t.Fatalf("counters not aggregated: %+v", res.Counters)
+	}
+	if res.Counters.PeakFootprintBits == 0 {
+		t.Fatal("peak footprint missing")
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	res, err := AlignBatch(nil, DefaultConfig(Improved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 0 || res.Launch.Seconds != 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestInvalidWindowConfigRejected(t *testing.T) {
+	cfg := DefaultConfig(Improved)
+	cfg.O = 70 // >= W
+	if _, err := AlignBatch(makePairs(t, 1, 300, 0.1), cfg); err == nil {
+		t.Fatal("accepted O >= W")
+	}
+}
+
+func TestDeterministicTiming(t *testing.T) {
+	pairs := makePairs(t, 10, 600, 0.1)
+	a, err := AlignBatch(pairs, DefaultConfig(Improved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AlignBatch(pairs, DefaultConfig(Improved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Launch.MakespanCycles != b.Launch.MakespanCycles {
+		t.Fatalf("nondeterministic: %d vs %d cycles",
+			a.Launch.MakespanCycles, b.Launch.MakespanCycles)
+	}
+}
+
+func TestRandomPairsStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pairs := make([]Pair, 30)
+	for i := range pairs {
+		q := make([]byte, 1+rng.Intn(300))
+		r := make([]byte, 1+rng.Intn(300))
+		for j := range q {
+			q[j] = byte(rng.Intn(4))
+		}
+		for j := range r {
+			r[j] = byte(rng.Intn(4))
+		}
+		pairs[i] = Pair{Query: q, Ref: r}
+	}
+	res, err := AlignBatch(pairs, DefaultConfig(Improved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Results {
+		if err := r.Cigar.Check(dna.DecodeSeq(pairs[i].Query),
+			dna.DecodeSeq(pairs[i].Ref[:r.RefConsumed])); err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package ksw2 reproduces minimap2's KSW2 global aligner (Suzuki & Kasahara,
+// BMC Bioinformatics 2018; Li, Bioinformatics 2018): banded global alignment
+// with affine gap penalties. The original exploits SIMD difference
+// recurrences; this scalar Go port keeps the same DP, banding and traceback
+// structure (per-cell packed direction flags, run-following gap traceback).
+//
+// It is the paper's "KSW2" CPU baseline: exact affine-gap alignment whose
+// cost grows with query*band, which is why GenASM-style bit-parallel
+// aligners outrun it on long reads.
+package ksw2
+
+import (
+	"errors"
+	"fmt"
+
+	"genasm/internal/cigar"
+	"genasm/internal/dna"
+)
+
+// Params configures the aligner.
+type Params struct {
+	// Penalties is the affine scoring scheme (match bonus A, mismatch
+	// penalty B, gap open Q, gap extend E; a gap of length l costs
+	// Q + l*E).
+	Penalties cigar.AffinePenalties
+	// BandWidth is the half-width of the diagonal band. Non-positive
+	// means unbanded (exact). The band is widened automatically to at
+	// least the query/reference length difference so the global corner
+	// stays reachable.
+	BandWidth int
+}
+
+// DefaultParams mirrors minimap2's map-pb defaults with a 500-cell band.
+func DefaultParams() Params {
+	return Params{Penalties: cigar.DefaultAffine, BandWidth: 500}
+}
+
+const negInf = int32(-1 << 29)
+
+// traceback direction flags, one byte per in-band cell.
+const (
+	dirMask  = 0x03 // source of H: 0 diag, 1 from E (left/ref gap), 2 from F (up/query gap)
+	fromDiag = 0x00
+	fromE    = 0x01
+	fromF    = 0x02
+	eExtend  = 0x08 // E chose extension over open
+	fExtend  = 0x10 // F chose extension over open
+)
+
+// GlobalScore computes the banded global affine score without traceback
+// storage (two-row DP).
+func GlobalScore(query, ref []byte, p Params) (int, error) {
+	sc, _, err := align(dna.EncodeSeq(query), dna.EncodeSeq(ref), p, false)
+	return sc, err
+}
+
+// GlobalAlign computes the banded global affine alignment.
+func GlobalAlign(query, ref []byte, p Params) (int, cigar.Cigar, error) {
+	return align(dna.EncodeSeq(query), dna.EncodeSeq(ref), p, true)
+}
+
+// GlobalAlignEncoded is GlobalAlign on pre-encoded base codes.
+func GlobalAlignEncoded(query, ref []byte, p Params) (int, cigar.Cigar, error) {
+	return align(query, ref, p, true)
+}
+
+// GlobalScoreEncoded is GlobalScore on pre-encoded base codes.
+func GlobalScoreEncoded(query, ref []byte, p Params) (int, error) {
+	sc, _, err := align(query, ref, p, false)
+	return sc, err
+}
+
+func align(q, t []byte, p Params, wantCigar bool) (int, cigar.Cigar, error) {
+	m, n := len(q), len(t)
+	pen := p.Penalties
+	if pen.E <= 0 {
+		return 0, nil, errors.New("ksw2: gap extension must be positive")
+	}
+	switch {
+	case m == 0 && n == 0:
+		return 0, nil, nil
+	case m == 0:
+		return -(pen.Q + n*pen.E), cigar.Cigar{{Kind: cigar.Del, Len: n}}, nil
+	case n == 0:
+		return -(pen.Q + m*pen.E), cigar.Cigar{{Kind: cigar.Ins, Len: m}}, nil
+	}
+	w := p.BandWidth
+	if w <= 0 || w > m+n {
+		w = m + n // effectively unbanded
+	}
+	if d := abs(m - n); w < d+1 {
+		w = d + 1
+	}
+	bw := 2*w + 1 // cells stored per row
+
+	// H[j+1]/F[j+1] hold row i-1's values for column j while row i is
+	// being computed; index 0 is the virtual column -1.
+	H := make([]int32, n+2)
+	F := make([]int32, n+2)
+	gap := func(l int) int32 { return int32(-(pen.Q + l*pen.E)) }
+	openExt := int32(pen.Q + pen.E)
+	ext := int32(pen.E)
+
+	var dir []byte
+	if wantCigar {
+		dir = make([]byte, m*bw)
+	}
+
+	// Row -1 boundary: H(-1, j) = gap(j+1) within the band, -inf outside.
+	H[0] = 0
+	for j := 0; j < n; j++ {
+		if j+1 > w {
+			H[j+1] = negInf
+		} else {
+			H[j+1] = gap(j + 1)
+		}
+		F[j+1] = negInf
+	}
+	H[n+1] = negInf
+	F[0], F[n+1] = negInf, negInf
+
+	for i := 0; i < m; i++ {
+		jLo := i - w
+		if jLo < 0 {
+			jLo = 0
+		}
+		jHi := i + w
+		if jHi > n-1 {
+			jHi = n - 1
+		}
+		diag := H[jLo]  // H(i-1, jLo-1): leftmost cell of the previous band
+		hLeft := negInf // H(i, jLo-1)
+		eRun := negInf  // E(i, jLo-1)
+		if jLo == 0 {
+			hLeft = gap(i + 1)
+		}
+		for j := jLo; j <= jHi; j++ {
+			var flags byte
+			// E: gap consuming reference (horizontal run).
+			e := eRun - ext
+			if open := hLeft - openExt; e >= open {
+				flags |= eExtend
+			} else {
+				e = open
+			}
+			// F: gap consuming query (vertical run).
+			f := F[j+1] - ext
+			if open := H[j+1] - openExt; f >= open {
+				flags |= fExtend
+			} else {
+				f = open
+			}
+			s := int32(pen.A)
+			if q[i] != t[j] || q[i] == dna.N {
+				s = int32(-pen.B)
+			}
+			h := diag + s
+			if e > h {
+				h = e
+				flags |= fromE
+			}
+			if f > h {
+				h = f
+				flags = (flags &^ dirMask) | fromF
+			}
+			if h < negInf {
+				h = negInf
+			}
+			diag = H[j+1]
+			H[j+1] = h
+			F[j+1] = f
+			eRun = e
+			hLeft = h
+			if wantCigar {
+				dir[i*bw+(j-jLo)] = flags
+			}
+		}
+		// The next row reads one column beyond this band's right edge as
+		// its "above" cell; that cell is outside this row's band.
+		if jHi+2 <= n+1 {
+			H[jHi+2] = negInf
+			F[jHi+2] = negInf
+		}
+		// Advance the virtual column -1 boundary to row i.
+		if jLo == 0 {
+			H[0] = gap(i + 1)
+		} else {
+			H[0] = negInf
+		}
+	}
+	score := int(H[n])
+	if !wantCigar {
+		return score, nil, nil
+	}
+
+	// Traceback: follow the packed direction flags; inside gap runs the
+	// extension bits decide when the run opened.
+	var rev cigar.Cigar
+	i, j := m-1, n-1
+	state := byte(fromDiag)
+	flagsAt := func(i, j int) (byte, error) {
+		jLo := i - w
+		if jLo < 0 {
+			jLo = 0
+		}
+		off := j - jLo
+		if off < 0 || off >= bw || j > i+w {
+			return 0, fmt.Errorf("ksw2: traceback left the band at i=%d j=%d", i, j)
+		}
+		return dir[i*bw+off], nil
+	}
+	for i >= 0 && j >= 0 {
+		fl, err := flagsAt(i, j)
+		if err != nil {
+			return 0, nil, err
+		}
+		switch state {
+		case fromDiag:
+			switch fl & dirMask {
+			case fromE:
+				state = fromE
+			case fromF:
+				state = fromF
+			default:
+				kind := cigar.Match
+				if q[i] != t[j] || q[i] == dna.N {
+					kind = cigar.Mismatch
+				}
+				rev = rev.Append(kind, 1)
+				i, j = i-1, j-1
+			}
+		case fromE: // gap consuming ref
+			rev = rev.Append(cigar.Del, 1)
+			if fl&eExtend == 0 {
+				state = fromDiag
+			}
+			j--
+		case fromF: // gap consuming query
+			rev = rev.Append(cigar.Ins, 1)
+			if fl&fExtend == 0 {
+				state = fromDiag
+			}
+			i--
+		}
+	}
+	if j >= 0 {
+		rev = rev.Append(cigar.Del, j+1)
+	}
+	if i >= 0 {
+		rev = rev.Append(cigar.Ins, i+1)
+	}
+	return score, rev.Reverse(), nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,221 @@
+package ksw2
+
+import (
+	"math/rand"
+	"testing"
+
+	"genasm/internal/cigar"
+	"genasm/internal/swg"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	alpha := []byte("ACGT")
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = alpha[rng.Intn(4)]
+	}
+	return s
+}
+
+func mutate(rng *rand.Rand, s []byte, rate float64) []byte {
+	alpha := []byte("ACGT")
+	out := make([]byte, 0, len(s)+8)
+	for _, b := range s {
+		r := rng.Float64()
+		switch {
+		case r < rate/3:
+			out = append(out, alpha[rng.Intn(4)])
+		case r < 2*rate/3:
+		case r < rate:
+			out = append(out, b, alpha[rng.Intn(4)])
+		default:
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func unbanded() Params {
+	return Params{Penalties: cigar.DefaultAffine, BandWidth: 0}
+}
+
+func TestUnbandedMatchesGotohGoldStandard(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 150; iter++ {
+		q := randSeq(rng, 1+rng.Intn(80))
+		var r []byte
+		if iter%3 == 0 {
+			r = randSeq(rng, 1+rng.Intn(80))
+		} else {
+			r = mutate(rng, q, 0.25)
+			if len(r) == 0 {
+				r = []byte("A")
+			}
+		}
+		score, cg, err := GlobalAlign(q, r, unbanded())
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		want, _ := swg.AffineAlign(q, r, cigar.DefaultAffine)
+		if score != want {
+			t.Fatalf("iter %d: score %d want %d", iter, score, want)
+		}
+		if err := cg.Check(q, r); err != nil {
+			t.Fatalf("iter %d: cigar: %v", iter, err)
+		}
+		if got := cg.AffineScore(cigar.DefaultAffine); got != score {
+			t.Fatalf("iter %d: cigar scores %d, DP %d", iter, got, score)
+		}
+	}
+}
+
+func TestBandedEqualsUnbandedWhenWideEnough(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 50; iter++ {
+		q := randSeq(rng, 200)
+		r := mutate(rng, q, 0.10)
+		full, _, err := GlobalAlign(q, r, unbanded())
+		if err != nil {
+			t.Fatal(err)
+		}
+		banded, cg, err := GlobalAlign(q, r, Params{Penalties: cigar.DefaultAffine, BandWidth: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if banded != full {
+			t.Fatalf("iter %d: banded %d != full %d", iter, banded, full)
+		}
+		if err := cg.Check(q, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNarrowBandNeverOverestimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 40; iter++ {
+		q := randSeq(rng, 150)
+		r := mutate(rng, q, 0.3)
+		full, _ := swg.AffineAlign(q, r, cigar.DefaultAffine)
+		banded, cg, err := GlobalAlign(q, r, Params{Penalties: cigar.DefaultAffine, BandWidth: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if banded > full {
+			t.Fatalf("iter %d: banded score %d above optimum %d", iter, banded, full)
+		}
+		// Whatever path the band admits must still be a real alignment.
+		if err := cg.Check(q, r); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if cg.AffineScore(cigar.DefaultAffine) != banded {
+			t.Fatalf("iter %d: cigar/score mismatch", iter)
+		}
+	}
+}
+
+func TestGlobalScoreAgreesWithAlign(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 60; iter++ {
+		q := randSeq(rng, 1+rng.Intn(120))
+		r := mutate(rng, q, 0.2)
+		if len(r) == 0 {
+			r = []byte("C")
+		}
+		p := DefaultParams()
+		s1, err := GlobalScore(q, r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, _, err := GlobalAlign(q, r, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1 != s2 {
+			t.Fatalf("iter %d: score-only %d != align %d", iter, s1, s2)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	p := unbanded()
+	score, cg, err := GlobalAlign(nil, []byte("ACGT"), p)
+	if err != nil || score != -(4+4*2) || cg.String() != "4D" {
+		t.Fatalf("%d %s %v", score, cg, err)
+	}
+	score, cg, err = GlobalAlign([]byte("AC"), nil, p)
+	if err != nil || score != -(4+2*2) || cg.String() != "2I" {
+		t.Fatalf("%d %s %v", score, cg, err)
+	}
+	score, cg, err = GlobalAlign(nil, nil, p)
+	if err != nil || score != 0 || cg != nil {
+		t.Fatalf("%d %v %v", score, cg, err)
+	}
+}
+
+func TestRejectsNonPositiveExtension(t *testing.T) {
+	p := Params{Penalties: cigar.AffinePenalties{A: 1, B: 1, Q: 1, E: 0}}
+	if _, _, err := GlobalAlign([]byte("A"), []byte("A"), p); err == nil {
+		t.Fatal("accepted E=0")
+	}
+}
+
+func TestUnequalLengthsWidenBandAutomatically(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	q := randSeq(rng, 50)
+	r := append(append([]byte{}, q...), randSeq(rng, 200)...)
+	// Band of 1 must still reach the global corner.
+	score, cg, err := GlobalAlign(q, r, Params{Penalties: cigar.DefaultAffine, BandWidth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cg.Check(q, r); err != nil {
+		t.Fatal(err)
+	}
+	if cg.AffineScore(cigar.DefaultAffine) != score {
+		t.Fatal("cigar/score mismatch")
+	}
+}
+
+func TestNMismatches(t *testing.T) {
+	score, cg, err := GlobalAlign([]byte("ANA"), []byte("ANA"), unbanded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*2 - 4 // two matches, one N-vs-N mismatch
+	if score != want {
+		t.Fatalf("score %d want %d (%s)", score, want, cg)
+	}
+}
+
+func TestLongReadBanded(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	q := randSeq(rng, 3000)
+	r := mutate(rng, q, 0.10)
+	score, cg, err := GlobalAlign(q, r, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cg.Check(q, r); err != nil {
+		t.Fatal(err)
+	}
+	if cg.AffineScore(cigar.DefaultAffine) != score {
+		t.Fatal("cigar/score mismatch")
+	}
+	if score <= 0 {
+		t.Fatalf("score %d for 10%% error read should be positive", score)
+	}
+}
+
+func BenchmarkGlobalAlign3kbBanded(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	q := randSeq(rng, 3000)
+	r := mutate(rng, q, 0.1)
+	p := DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GlobalAlign(q, r, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package minimap
+
+import (
+	"math"
+	"sort"
+
+	"genasm/internal/dna"
+)
+
+// Chain is one co-linear group of seed hits: a candidate mapping location.
+type Chain struct {
+	Score float64
+	// Read/Ref spans covered by the chained anchors (k-mer end included).
+	ReadStart, ReadEnd int
+	RefStart, RefEnd   int
+	// RevComp reports that the read maps to the reverse strand; read
+	// coordinates are then in the reverse-complemented read.
+	RevComp bool
+	Anchors int
+}
+
+// ChainOpts controls chaining, mirroring minimap2's knobs.
+type ChainOpts struct {
+	// MaxGap is the largest gap (read or reference) bridged inside one
+	// chain.
+	MaxGap int
+	// MaxLookback bounds the chaining DP's predecessor scan.
+	MaxLookback int
+	// MinScore discards weak chains.
+	MinScore float64
+	// MinAnchors discards chains with fewer seed hits.
+	MinAnchors int
+	// All reports every chain (minimap2 -P), not just the primary.
+	All bool
+}
+
+// DefaultChainOpts mirrors minimap2 map-pb with -P.
+func DefaultChainOpts() ChainOpts {
+	return ChainOpts{MaxGap: 5000, MaxLookback: 64, MinScore: 40, MinAnchors: 3, All: true}
+}
+
+// chainStrand runs the minimap2 chaining DP over one strand's anchors.
+func chainStrand(a []anchor, k int, opt ChainOpts, rev bool) []Chain {
+	n := len(a)
+	if n == 0 {
+		return nil
+	}
+	score := make([]float64, n)
+	prev := make([]int32, n)
+	for i := 0; i < n; i++ {
+		score[i] = float64(k)
+		prev[i] = -1
+		lo := i - opt.MaxLookback
+		if lo < 0 {
+			lo = 0
+		}
+		for j := i - 1; j >= lo; j-- {
+			dt := int(a[i].tpos - a[j].tpos)
+			dr := int(a[i].rpos - a[j].rpos)
+			if dr <= 0 || dt <= 0 {
+				continue
+			}
+			if dt > opt.MaxGap || dr > opt.MaxGap {
+				continue
+			}
+			dd := dt - dr
+			if dd < 0 {
+				dd = -dd
+			}
+			gain := float64(minInt(minInt(dr, dt), k)) - gapCost(dd, k)
+			if s := score[j] + gain; s > score[i] {
+				score[i] = s
+				prev[i] = int32(j)
+			}
+		}
+	}
+	// Extract chains best-first; each anchor belongs to one chain.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return score[order[x]] > score[order[y]] })
+	used := make([]bool, n)
+	var chains []Chain
+	for _, end := range order {
+		if used[end] || score[end] < opt.MinScore {
+			continue
+		}
+		cnt := 0
+		i := end
+		last := end
+		for i >= 0 && !used[i] {
+			used[i] = true
+			cnt++
+			last = i
+			i = int(prev[i])
+		}
+		if cnt < opt.MinAnchors {
+			continue
+		}
+		chains = append(chains, Chain{
+			Score:     score[end],
+			ReadStart: int(a[last].rpos),
+			ReadEnd:   int(a[end].rpos) + k,
+			RefStart:  int(a[last].tpos),
+			RefEnd:    int(a[end].tpos) + k,
+			RevComp:   rev,
+			Anchors:   cnt,
+		})
+		if !opt.All {
+			break
+		}
+	}
+	return chains
+}
+
+// gapCost is minimap2's concave chaining gap penalty.
+func gapCost(dd, k int) float64 {
+	if dd == 0 {
+		return 0
+	}
+	return 0.01*float64(k)*float64(dd) + 0.5*math.Log2(float64(dd)+1)
+}
+
+// Chains seeds and chains a read (base codes) against the index, returning
+// all chains on both strands, best first.
+func (ix *Index) Chains(read []byte, opt ChainOpts) []Chain {
+	fwd, rev := ix.anchors(read)
+	chains := chainStrand(fwd, ix.K, opt, false)
+	chains = append(chains, chainStrand(rev, ix.K, opt, true)...)
+	sort.Slice(chains, func(i, j int) bool { return chains[i].Score > chains[j].Score })
+	return chains
+}
+
+// Candidate is a reference region a read should be aligned against.
+type Candidate struct {
+	RefStart, RefEnd int
+	RevComp          bool
+	Score            float64
+}
+
+// Locate converts chains into alignment candidate regions: the region
+// start is anchored exactly by the chain's first anchor (the k-mer match
+// pins the read's start on the reference to within indel drift), and the
+// region is extended so the whole read fits plus a trailing flank. The
+// head is NOT flanked: GenASM-style aligners treat the region start as the
+// alignment start and only the tail as free slack.
+func (ix *Index) Locate(read []byte, opt ChainOpts, flank int) []Candidate {
+	chains := ix.Chains(read, opt)
+	out := make([]Candidate, 0, len(chains))
+	for _, c := range chains {
+		start := c.RefStart - c.ReadStart
+		if start < 0 {
+			start = 0
+		}
+		end := c.RefEnd + (len(read) - c.ReadEnd) + flank
+		if end > ix.RefLen {
+			end = ix.RefLen
+		}
+		if end <= start {
+			continue
+		}
+		out = append(out, Candidate{RefStart: start, RefEnd: end, RevComp: c.RevComp, Score: c.Score})
+	}
+	return out
+}
+
+// LocateRaw is Locate on a raw ASCII read.
+func (ix *Index) LocateRaw(read []byte, opt ChainOpts, flank int) []Candidate {
+	return ix.Locate(dna.EncodeSeq(read), opt, flank)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+package minimap
+
+import (
+	"fmt"
+	"sort"
+
+	"genasm/internal/dna"
+)
+
+// Index is a minimizer hash table over one reference sequence.
+type Index struct {
+	K, W   int
+	RefLen int
+	// table maps a canonical minimizer hash to its reference
+	// occurrences, packed as pos<<1 | strand.
+	table map[uint64][]uint32
+	// maxOcc drops hyper-repetitive seeds (like minimap2's -f filter).
+	maxOcc int
+}
+
+// IndexConfig controls index construction.
+type IndexConfig struct {
+	K, W int
+	// MaxOccurrences drops minimizers that occur more often than this in
+	// the reference (0 means 64), taming repeat-driven seed explosions.
+	MaxOccurrences int
+}
+
+// DefaultIndexConfig matches minimap2's map-pb preset (k=19, w=10 — here
+// k=15 to stay informative on small synthetic genomes).
+func DefaultIndexConfig() IndexConfig { return IndexConfig{K: 15, W: 10, MaxOccurrences: 64} }
+
+// BuildIndex indexes a reference (base codes).
+func BuildIndex(ref []byte, cfg IndexConfig) (*Index, error) {
+	if cfg.K < 1 || cfg.K > 28 || cfg.W < 1 {
+		return nil, fmt.Errorf("minimap: invalid k=%d w=%d", cfg.K, cfg.W)
+	}
+	if cfg.MaxOccurrences <= 0 {
+		cfg.MaxOccurrences = 64
+	}
+	ix := &Index{K: cfg.K, W: cfg.W, RefLen: len(ref),
+		table: make(map[uint64][]uint32), maxOcc: cfg.MaxOccurrences}
+	for _, m := range Minimizers(ref, cfg.K, cfg.W) {
+		v := uint32(m.Pos) << 1
+		if m.Rev {
+			v |= 1
+		}
+		ix.table[m.Hash] = append(ix.table[m.Hash], v)
+	}
+	for h, occ := range ix.table {
+		if len(occ) > ix.maxOcc {
+			delete(ix.table, h)
+		}
+	}
+	return ix, nil
+}
+
+// BuildIndexRaw indexes a raw ASCII reference.
+func BuildIndexRaw(ref []byte, cfg IndexConfig) (*Index, error) {
+	return BuildIndex(dna.EncodeSeq(ref), cfg)
+}
+
+// Seeds returns the number of distinct indexed minimizers.
+func (ix *Index) Seeds() int { return len(ix.table) }
+
+// anchor is one seed hit: read position rpos matches reference position
+// tpos. For reverse-strand hits, rpos is in the coordinates of the
+// reverse-complemented read so chains stay co-linear.
+type anchor struct {
+	tpos, rpos int32
+}
+
+// anchors collects seed hits per relative strand.
+func (ix *Index) anchors(read []byte) (fwd, rev []anchor) {
+	readLen := int32(len(read))
+	for _, m := range Minimizers(read, ix.K, ix.W) {
+		occ, ok := ix.table[m.Hash]
+		if !ok {
+			continue
+		}
+		for _, v := range occ {
+			tpos := int32(v >> 1)
+			tRev := v&1 == 1
+			if m.Rev == tRev {
+				fwd = append(fwd, anchor{tpos: tpos, rpos: m.Pos})
+			} else {
+				rev = append(rev, anchor{tpos: tpos, rpos: readLen - (m.Pos + int32(ix.K))})
+			}
+		}
+	}
+	sortAnchors(fwd)
+	sortAnchors(rev)
+	return fwd, rev
+}
+
+func sortAnchors(a []anchor) {
+	sort.Slice(a, func(i, j int) bool {
+		if a[i].tpos != a[j].tpos {
+			return a[i].tpos < a[j].tpos
+		}
+		return a[i].rpos < a[j].rpos
+	})
+}

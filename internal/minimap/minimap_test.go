@@ -1,0 +1,242 @@
+package minimap
+
+import (
+	"math"
+	"testing"
+
+	"genasm/internal/dna"
+	"genasm/internal/genome"
+	"genasm/internal/readsim"
+)
+
+func codes(n int, seed int64) []byte {
+	cfg := genome.DefaultConfig(n)
+	cfg.Seed = seed
+	return dna.EncodeSeq(genome.Generate(cfg).Seq)
+}
+
+func TestMinimizersWindowGuarantee(t *testing.T) {
+	k, w := 7, 5
+	seq := codes(2000, 1)
+	ms := Minimizers(seq, k, w)
+	if len(ms) == 0 {
+		t.Fatal("no minimizers")
+	}
+	// Positions strictly increasing.
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Pos <= ms[i-1].Pos {
+			t.Fatalf("positions not increasing at %d", i)
+		}
+	}
+	// Every window of w consecutive k-mers has a selected k-mer.
+	sel := map[int32]bool{}
+	for _, m := range ms {
+		sel[m.Pos] = true
+	}
+	nk := len(seq) - k + 1
+	for start := 0; start+w <= nk; start++ {
+		ok := false
+		for p := start; p < start+w; p++ {
+			if sel[int32(p)] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("window starting at k-mer %d has no minimizer", start)
+		}
+	}
+}
+
+func TestMinimizerDensity(t *testing.T) {
+	k, w := 15, 10
+	seq := codes(200000, 2)
+	ms := Minimizers(seq, k, w)
+	density := float64(len(ms)) / float64(len(seq))
+	want := 2.0 / float64(w+1)
+	if math.Abs(density-want) > 0.03 {
+		t.Fatalf("density %f want ~%f", density, want)
+	}
+}
+
+func TestMinimizersCanonicalUnderRevComp(t *testing.T) {
+	k, w := 11, 8
+	seq := codes(5000, 3)
+	rc := dna.ReverseComplement(seq)
+	fwd := map[uint64]int{}
+	for _, m := range Minimizers(seq, k, w) {
+		fwd[m.Hash]++
+	}
+	rev := map[uint64]int{}
+	for _, m := range Minimizers(rc, k, w) {
+		rev[m.Hash]++
+	}
+	// Same sequence content, opposite strand: the canonical hash sets
+	// must be (near-)identical. Window placement at the two ends can
+	// differ, so allow a tiny discrepancy.
+	missing := 0
+	for h := range fwd {
+		if _, ok := rev[h]; !ok {
+			missing++
+		}
+	}
+	if missing > len(fwd)/100 {
+		t.Fatalf("%d/%d forward minimizer hashes missing from revcomp", missing, len(fwd))
+	}
+}
+
+func TestMinimizersSkipN(t *testing.T) {
+	raw := []byte("ACGTACGTNNACGTACGTACA")
+	ms := MinimizersRaw(raw, 5, 3)
+	for _, m := range ms {
+		for _, b := range raw[m.Pos : m.Pos+5] {
+			if b == 'N' {
+				t.Fatalf("minimizer at %d spans N", m.Pos)
+			}
+		}
+	}
+}
+
+func TestMinimizersEdgeCases(t *testing.T) {
+	if ms := Minimizers(nil, 15, 10); ms != nil {
+		t.Fatal("nil seq")
+	}
+	if ms := Minimizers(codes(10, 4), 15, 10); ms != nil {
+		t.Fatal("seq shorter than k")
+	}
+	// Shorter than w k-mers still yields one minimizer.
+	if ms := Minimizers(codes(18, 5), 15, 10); len(ms) != 1 {
+		t.Fatalf("short seq minimizers = %d want 1", len(ms))
+	}
+}
+
+func TestIndexOccurrenceFilter(t *testing.T) {
+	// A pure tandem repeat makes every minimizer hyper-frequent; the
+	// occurrence filter must drop them.
+	unit := codes(20, 6)
+	var seq []byte
+	for i := 0; i < 400; i++ {
+		seq = append(seq, unit...)
+	}
+	ix, err := BuildIndex(seq, IndexConfig{K: 11, W: 5, MaxOccurrences: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Seeds() != 0 {
+		t.Fatalf("%d seeds survived on a pure tandem repeat", ix.Seeds())
+	}
+}
+
+func TestBuildIndexRejectsBadConfig(t *testing.T) {
+	if _, err := BuildIndex(codes(100, 7), IndexConfig{K: 0, W: 5}); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	if _, err := BuildIndex(codes(100, 7), IndexConfig{K: 40, W: 5}); err == nil {
+		t.Fatal("accepted k=40")
+	}
+}
+
+func TestLocateRecoversTrueOrigin(t *testing.T) {
+	ref := genome.Generate(genome.DefaultConfig(300000)).Seq
+	refCodes := dna.EncodeSeq(ref)
+	ix, err := BuildIndex(refCodes, DefaultIndexConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := readsim.PacBioCLR()
+	p.MeanLength, p.LengthSD = 3000, 500
+	reads, err := readsim.Simulate(ref, 60, p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultChainOpts()
+	found := 0
+	for _, r := range reads {
+		cands := ix.Locate(dna.EncodeSeq(r.Seq), opt, 100)
+		for _, c := range cands {
+			overlapsOrigin := c.RefStart <= r.Pos+r.RefSpan && c.RefEnd >= r.Pos
+			if overlapsOrigin && c.RevComp == r.RevComp {
+				found++
+				break
+			}
+		}
+	}
+	if found < 57 { // 95% recall
+		t.Fatalf("recovered origin for only %d/60 reads", found)
+	}
+}
+
+func TestLocateRepeatGenomeYieldsMultipleCandidates(t *testing.T) {
+	cfg := genome.Config{Length: 200000, RepeatFraction: 0.6, RepeatUnit: 4000,
+		RepeatDivergence: 0.01, Seed: 9}
+	ref := genome.Generate(cfg).Seq
+	ix, err := BuildIndexRaw(ref, DefaultIndexConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := readsim.PacBioCLR()
+	p.MeanLength, p.LengthSD, p.RevCompFrac = 2000, 0, 0
+	reads, err := readsim.Simulate(ref, 40, p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for _, r := range reads {
+		if len(ix.LocateRaw(r.Seq, DefaultChainOpts(), 100)) > 1 {
+			multi++
+		}
+	}
+	// -P semantics: a repeat-rich genome must produce secondary chains
+	// for a healthy share of reads.
+	if multi < 5 {
+		t.Fatalf("only %d/40 reads had multiple candidates on a 60%% repeat genome", multi)
+	}
+}
+
+func TestChainsColinearAndOrdered(t *testing.T) {
+	refCodes := codes(100000, 11)
+	ix, err := BuildIndex(refCodes, DefaultIndexConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := refCodes[5000:8000]
+	chains := ix.Chains(read, DefaultChainOpts())
+	if len(chains) == 0 {
+		t.Fatal("no chains for an exact substring read")
+	}
+	best := chains[0]
+	if best.RevComp {
+		t.Fatal("exact forward substring chained to reverse strand")
+	}
+	if best.RefStart < 4900 || best.RefEnd > 8100 {
+		t.Fatalf("best chain [%d,%d) far from true origin [5000,8000)", best.RefStart, best.RefEnd)
+	}
+	for i := 1; i < len(chains); i++ {
+		if chains[i].Score > chains[i-1].Score {
+			t.Fatal("chains not sorted by score")
+		}
+	}
+	if best.ReadEnd <= best.ReadStart || best.RefEnd <= best.RefStart {
+		t.Fatal("degenerate chain span")
+	}
+}
+
+func TestLocateRevCompRead(t *testing.T) {
+	refCodes := codes(100000, 12)
+	ix, err := BuildIndex(refCodes, DefaultIndexConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := dna.ReverseComplement(refCodes[40000:43000])
+	cands := ix.Locate(read, DefaultChainOpts(), 50)
+	if len(cands) == 0 {
+		t.Fatal("no candidates for revcomp read")
+	}
+	c := cands[0]
+	if !c.RevComp {
+		t.Fatal("revcomp read located on forward strand")
+	}
+	if c.RefStart > 40000 || c.RefEnd < 43000 {
+		t.Fatalf("candidate [%d,%d) does not cover origin [40000,43000)", c.RefStart, c.RefEnd)
+	}
+}

@@ -1,0 +1,121 @@
+// Package minimap reproduces the candidate-generation half of minimap2
+// (Li, Bioinformatics 2018): minimizer seeding, a reference index, and
+// chaining of seed hits into candidate mapping locations. The paper obtains
+// its (read, reference) alignment pairs from minimap2 run with -P, which
+// reports *all* chains rather than only the primary one; Locate mirrors
+// that behaviour.
+package minimap
+
+import (
+	"genasm/internal/dna"
+)
+
+// Minimizer is one selected (w,k)-minimizer.
+type Minimizer struct {
+	// Hash is the canonical (strand-independent) k-mer hash.
+	Hash uint64
+	// Pos is the 0-based start of the k-mer in the sequence.
+	Pos int32
+	// Rev reports whether the canonical orientation is the reverse
+	// complement of the forward k-mer.
+	Rev bool
+}
+
+// hash64 is minimap2's invertible integer hash (a Murmur3-style finalizer);
+// it decorrelates lexicographic k-mer order from selection order.
+func hash64(key, mask uint64) uint64 {
+	key = (^key + (key << 21)) & mask
+	key = key ^ key>>24
+	key = (key + (key << 3) + (key << 8)) & mask
+	key = key ^ key>>14
+	key = (key + (key << 2) + (key << 4)) & mask
+	key = key ^ key>>28
+	key = (key + (key << 31)) & mask
+	return key
+}
+
+// invalidHash marks strand-ambiguous k-mers, which are never selected.
+const invalidHash = ^uint64(0)
+
+type kmerCand struct {
+	hash uint64
+	pos  int32
+	rev  bool
+}
+
+// Minimizers extracts the (w,k)-minimizers of seq (base codes). K-mers
+// containing N are skipped; k-mers equal to their own reverse complement
+// are skipped (strand-ambiguous), both as in minimap2. Every window of w
+// consecutive valid k-mers contributes at least one minimizer.
+func Minimizers(seq []byte, k, w int) []Minimizer {
+	if k < 1 || k > 28 || w < 1 || len(seq) < k {
+		return nil
+	}
+	mask := uint64(1)<<(2*uint(k)) - 1
+	shift := 2 * uint(k-1)
+	var fwd, rev uint64
+	valid := 0
+
+	cands := make([]kmerCand, 0, len(seq))
+	for i := 0; i < len(seq); i++ {
+		b := seq[i]
+		if b >= 4 {
+			valid = 0
+			fwd, rev = 0, 0
+			continue
+		}
+		fwd = (fwd<<2 | uint64(b)) & mask
+		rev = rev>>2 | uint64(3-b)<<shift
+		valid++
+		if valid < k {
+			continue
+		}
+		pos := int32(i - k + 1)
+		if fwd == rev {
+			cands = append(cands, kmerCand{hash: invalidHash, pos: pos})
+			continue
+		}
+		h, r := fwd, false
+		if rev < fwd {
+			h, r = rev, true
+		}
+		cands = append(cands, kmerCand{hash: hash64(h, mask), pos: pos, rev: r})
+	}
+
+	// Slide a window of w consecutive valid k-mers with a monotonic deque.
+	var out []Minimizer
+	deque := make([]kmerCand, 0, w+1)
+	lastEmitted := int32(-1)
+	for i, c := range cands {
+		for len(deque) > 0 && deque[len(deque)-1].hash >= c.hash {
+			deque = deque[:len(deque)-1]
+		}
+		deque = append(deque, c)
+		lo := i - w + 1
+		if lo < 0 {
+			lo = 0
+		}
+		for deque[0].pos < cands[lo].pos {
+			deque = deque[1:]
+		}
+		if i >= w-1 {
+			m := deque[0]
+			if m.hash != invalidHash && m.pos != lastEmitted {
+				lastEmitted = m.pos
+				out = append(out, Minimizer{Hash: m.hash, Pos: m.pos, Rev: m.rev})
+			}
+		}
+	}
+	// Sequences with fewer than w valid k-mers still seed with their
+	// single window minimum.
+	if len(out) == 0 && len(deque) > 0 && deque[0].hash != invalidHash {
+		m := deque[0]
+		out = append(out, Minimizer{Hash: m.hash, Pos: m.pos, Rev: m.rev})
+	}
+	return out
+}
+
+// MinimizersRaw is Minimizers on a raw ASCII sequence.
+func MinimizersRaw(seq []byte, k, w int) []Minimizer {
+	return Minimizers(dna.EncodeSeq(seq), k, w)
+}

@@ -1,0 +1,298 @@
+// Package swg implements classic quadratic dynamic-programming sequence
+// alignment: unit-cost (Levenshtein) global and prefix-global alignment with
+// traceback, and Smith-Waterman-Gotoh affine-gap global alignment.
+//
+// These are the textbook O(n*m) algorithms the paper's introduction cites as
+// the baseline approach. They serve two roles in this repository: the gold
+// standard every bit-parallel aligner is tested against, and the slow
+// reference point in the benchmark harness.
+package swg
+
+import (
+	"genasm/internal/cigar"
+)
+
+// EditDistance returns the unit-cost global edit distance between a and b
+// using the standard two-row DP.
+func EditDistance(a, b []byte) int {
+	n, m := len(a), len(b)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			sub := prev[j-1]
+			if a[i-1] != b[j-1] {
+				sub++
+			}
+			best := sub
+			if d := prev[j] + 1; d < best {
+				best = d
+			}
+			if d := cur[j-1] + 1; d < best {
+				best = d
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// EditAlign returns the unit-cost global edit distance between query and ref
+// together with an optimal alignment. Tie-breaking prefers diagonal moves
+// (match/mismatch), then deletion (reference gap consumed first), then
+// insertion; this matches the traceback priority used by the GenASM
+// implementations so small cases agree exactly.
+func EditAlign(query, ref []byte) (int, cigar.Cigar) {
+	n, m := len(query), len(ref)
+	// dp[i*(m+1)+j] = edit distance of query[:i] vs ref[:j].
+	dp := make([]int32, (n+1)*(m+1))
+	idx := func(i, j int) int { return i*(m+1) + j }
+	for j := 0; j <= m; j++ {
+		dp[idx(0, j)] = int32(j)
+	}
+	for i := 1; i <= n; i++ {
+		dp[idx(i, 0)] = int32(i)
+		for j := 1; j <= m; j++ {
+			sub := dp[idx(i-1, j-1)]
+			if query[i-1] != ref[j-1] {
+				sub++
+			}
+			best := sub
+			if d := dp[idx(i-1, j)] + 1; d < best {
+				best = d
+			}
+			if d := dp[idx(i, j-1)] + 1; d < best {
+				best = d
+			}
+			dp[idx(i, j)] = best
+		}
+	}
+	// Traceback.
+	var rev cigar.Cigar
+	i, j := n, m
+	for i > 0 || j > 0 {
+		cur := dp[idx(i, j)]
+		switch {
+		case i > 0 && j > 0 && query[i-1] == ref[j-1] && dp[idx(i-1, j-1)] == cur:
+			rev = rev.Append(cigar.Match, 1)
+			i, j = i-1, j-1
+		case i > 0 && j > 0 && dp[idx(i-1, j-1)]+1 == cur:
+			rev = rev.Append(cigar.Mismatch, 1)
+			i, j = i-1, j-1
+		case j > 0 && dp[idx(i, j-1)]+1 == cur:
+			rev = rev.Append(cigar.Del, 1)
+			j--
+		default:
+			rev = rev.Append(cigar.Ins, 1)
+			i--
+		}
+	}
+	return int(dp[idx(n, m)]), rev.Reverse()
+}
+
+// PrefixAlign aligns all of query against the best-scoring *prefix* of ref
+// under unit costs: the window-alignment semantics used by the GenASM
+// implementations (the unconsumed reference tail is free). It returns the
+// distance, the alignment, and the number of reference characters consumed.
+// Ties on distance prefer the longest consumed prefix, matching GenASM's
+// traceback which extends matches as far as possible.
+func PrefixAlign(query, ref []byte) (int, cigar.Cigar, int) {
+	n, m := len(query), len(ref)
+	dp := make([]int32, (n+1)*(m+1))
+	idx := func(i, j int) int { return i*(m+1) + j }
+	// dp[0][j] = 0: any reference prefix may be skipped for free at the
+	// END of the alignment; equivalently we align query to ref[:c] and
+	// take the min over c. Standard trick: make row 0 cost j (global
+	// start) and take min over the last row. Implemented the second way.
+	for j := 0; j <= m; j++ {
+		dp[idx(0, j)] = int32(j)
+	}
+	for i := 1; i <= n; i++ {
+		dp[idx(i, 0)] = int32(i)
+		for j := 1; j <= m; j++ {
+			sub := dp[idx(i-1, j-1)]
+			if query[i-1] != ref[j-1] {
+				sub++
+			}
+			best := sub
+			if d := dp[idx(i-1, j)] + 1; d < best {
+				best = d
+			}
+			if d := dp[idx(i, j-1)] + 1; d < best {
+				best = d
+			}
+			dp[idx(i, j)] = best
+		}
+	}
+	bestC, bestD := 0, dp[idx(n, 0)]
+	for j := 1; j <= m; j++ {
+		if d := dp[idx(n, j)]; d < bestD || (d == bestD && j > bestC) {
+			bestD, bestC = d, j
+		}
+	}
+	// Traceback within query vs ref[:bestC].
+	var rev cigar.Cigar
+	i, j := n, bestC
+	for i > 0 || j > 0 {
+		cur := dp[idx(i, j)]
+		switch {
+		case i > 0 && j > 0 && query[i-1] == ref[j-1] && dp[idx(i-1, j-1)] == cur:
+			rev = rev.Append(cigar.Match, 1)
+			i, j = i-1, j-1
+		case i > 0 && j > 0 && dp[idx(i-1, j-1)]+1 == cur:
+			rev = rev.Append(cigar.Mismatch, 1)
+			i, j = i-1, j-1
+		case j > 0 && dp[idx(i, j-1)]+1 == cur:
+			rev = rev.Append(cigar.Del, 1)
+			j--
+		default:
+			rev = rev.Append(cigar.Ins, 1)
+			i--
+		}
+	}
+	return int(bestD), rev.Reverse(), bestC
+}
+
+const negInf = int32(-1 << 29)
+
+// AffineAlign computes a global Smith-Waterman-Gotoh alignment of query vs
+// ref under affine penalties p (three-matrix Gotoh formulation) and returns
+// the score and an optimal alignment. This is the scoring-model gold
+// standard for the KSW2 reproduction.
+func AffineAlign(query, ref []byte, p cigar.AffinePenalties) (int, cigar.Cigar) {
+	n, m := len(query), len(ref)
+	w := m + 1
+	// H: best score ending at (i,j); E: gap in query (Del run, consumes
+	// ref); F: gap in ref (Ins run, consumes query).
+	H := make([]int32, (n+1)*w)
+	E := make([]int32, (n+1)*w)
+	F := make([]int32, (n+1)*w)
+	idx := func(i, j int) int { return i*w + j }
+	gap := func(l int) int32 { return int32(-(p.Q + p.E*l)) }
+	H[0] = 0
+	for j := 1; j <= m; j++ {
+		H[idx(0, j)] = gap(j)
+		E[idx(0, j)] = gap(j)
+		F[idx(0, j)] = negInf
+	}
+	for i := 1; i <= n; i++ {
+		H[idx(i, 0)] = gap(i)
+		F[idx(i, 0)] = gap(i)
+		E[idx(i, 0)] = negInf
+		for j := 1; j <= m; j++ {
+			e := E[idx(i, j-1)] - int32(p.E)
+			if h := H[idx(i, j-1)] - int32(p.Q+p.E); h > e {
+				e = h
+			}
+			f := F[idx(i-1, j)] - int32(p.E)
+			if h := H[idx(i-1, j)] - int32(p.Q+p.E); h > f {
+				f = h
+			}
+			s := int32(p.A)
+			if query[i-1] != ref[j-1] {
+				s = int32(-p.B)
+			}
+			h := H[idx(i-1, j-1)] + s
+			if e > h {
+				h = e
+			}
+			if f > h {
+				h = f
+			}
+			E[idx(i, j)] = e
+			F[idx(i, j)] = f
+			H[idx(i, j)] = h
+		}
+	}
+	// Traceback across the three matrices. state 0=H, 1=E(del), 2=F(ins).
+	var rev cigar.Cigar
+	i, j, state := n, m, 0
+	for i > 0 || j > 0 {
+		switch state {
+		case 0:
+			cur := H[idx(i, j)]
+			if i > 0 && j > 0 {
+				s := int32(p.A)
+				kind := cigar.Match
+				if query[i-1] != ref[j-1] {
+					s = int32(-p.B)
+					kind = cigar.Mismatch
+				}
+				if H[idx(i-1, j-1)]+s == cur {
+					rev = rev.Append(kind, 1)
+					i, j = i-1, j-1
+					continue
+				}
+			}
+			if j > 0 && E[idx(i, j)] == cur {
+				state = 1
+				continue
+			}
+			state = 2
+		case 1: // inside a deletion run (consumes ref)
+			rev = rev.Append(cigar.Del, 1)
+			j--
+			if !(j > 0 && E[idx(i, j+1)] == E[idx(i, j)]-int32(p.E)) {
+				state = 0
+			}
+		case 2: // inside an insertion run (consumes query)
+			rev = rev.Append(cigar.Ins, 1)
+			i--
+			if !(i > 0 && F[idx(i+1, j)] == F[idx(i, j)]-int32(p.E)) {
+				state = 0
+			}
+		}
+	}
+	return int(H[idx(n, m)]), rev.Reverse()
+}
+
+// AffineScore computes only the global Gotoh score with a two-row DP,
+// suitable for long sequences where the full matrix would not fit.
+func AffineScore(query, ref []byte, p cigar.AffinePenalties) int {
+	n, m := len(query), len(ref)
+	H := make([]int32, m+1) // row i-1, overwritten in place to row i
+	F := make([]int32, m+1) // vertical gap state, carried across rows
+	gap := func(l int) int32 { return int32(-(p.Q + p.E*l)) }
+	openExt := int32(p.Q + p.E)
+	ext := int32(p.E)
+	H[0] = 0
+	for j := 1; j <= m; j++ {
+		H[j] = gap(j)
+		F[j] = negInf
+	}
+	for i := 1; i <= n; i++ {
+		diag := H[0] // H[i-1][j-1] for j=1
+		H[0] = gap(i)
+		e := negInf // E[i][0]
+		for j := 1; j <= m; j++ {
+			e -= ext
+			if h := H[j-1] - openExt; h > e { // H[j-1] already holds row i
+				e = h
+			}
+			f := F[j] - ext
+			if h := H[j] - openExt; h > f { // H[j] still holds row i-1
+				f = h
+			}
+			s := int32(p.A)
+			if query[i-1] != ref[j-1] {
+				s = int32(-p.B)
+			}
+			h := diag + s
+			if e > h {
+				h = e
+			}
+			if f > h {
+				h = f
+			}
+			diag = H[j]
+			F[j] = f
+			H[j] = h
+		}
+	}
+	return int(H[m])
+}

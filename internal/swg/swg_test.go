@@ -1,0 +1,217 @@
+package swg
+
+import (
+	"math/rand"
+	"testing"
+
+	"genasm/internal/cigar"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	alpha := []byte("ACGT")
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = alpha[rng.Intn(4)]
+	}
+	return s
+}
+
+// mutate applies roughly rate errors per base.
+func mutate(rng *rand.Rand, s []byte, rate float64) []byte {
+	alpha := []byte("ACGT")
+	out := make([]byte, 0, len(s)+8)
+	for _, b := range s {
+		r := rng.Float64()
+		switch {
+		case r < rate/3: // substitution
+			out = append(out, alpha[rng.Intn(4)])
+		case r < 2*rate/3: // deletion from query
+		case r < rate: // insertion
+			out = append(out, b, alpha[rng.Intn(4)])
+		default:
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, 'A')
+	}
+	return out
+}
+
+func TestEditDistanceBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"A", "", 1},
+		{"", "ACG", 3},
+		{"ACGT", "ACGT", 0},
+		{"ACGT", "AGGT", 1},
+		{"ACGT", "AGT", 1},
+		{"ACGT", "TACGT", 1},
+		{"kitten", "sitting", 3},
+		{"GATTACA", "GCATGCU", 4},
+	}
+	for _, c := range cases {
+		if got := EditDistance([]byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("EditDistance(%q,%q) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		a := randSeq(rng, rng.Intn(60))
+		b := randSeq(rng, rng.Intn(60))
+		if EditDistance(a, b) != EditDistance(b, a) {
+			t.Fatalf("asymmetric edit distance for %q %q", a, b)
+		}
+	}
+}
+
+func TestEditAlignMatchesDistanceAndChecks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		a := randSeq(rng, 1+rng.Intn(80))
+		b := mutate(rng, a, 0.2)
+		d, c := EditAlign(a, b)
+		if want := EditDistance(a, b); d != want {
+			t.Fatalf("EditAlign distance %d != EditDistance %d", d, want)
+		}
+		if err := c.Check(a, b); err != nil {
+			t.Fatalf("cigar check: %v", err)
+		}
+		if c.EditCost() != d {
+			t.Fatalf("cigar cost %d != distance %d", c.EditCost(), d)
+		}
+	}
+}
+
+func TestEditAlignEmptyInputs(t *testing.T) {
+	d, c := EditAlign(nil, []byte("ACG"))
+	if d != 3 || c.String() != "3D" {
+		t.Fatalf("got %d %s", d, c)
+	}
+	d, c = EditAlign([]byte("ACG"), nil)
+	if d != 3 || c.String() != "3I" {
+		t.Fatalf("got %d %s", d, c)
+	}
+	d, c = EditAlign(nil, nil)
+	if d != 0 || len(c) != 0 {
+		t.Fatalf("got %d %v", d, c)
+	}
+}
+
+func TestPrefixAlignBasics(t *testing.T) {
+	// query equals a prefix of ref: distance 0, consumes exactly it.
+	d, c, used := PrefixAlign([]byte("ACGT"), []byte("ACGTTTTT"))
+	if d != 0 || used != 4 {
+		t.Fatalf("d=%d used=%d", d, used)
+	}
+	if err := c.Check([]byte("ACGT"), []byte("ACGT")); err != nil {
+		t.Fatal(err)
+	}
+	// whole ref needed
+	d, _, used = PrefixAlign([]byte("AACC"), []byte("AACC"))
+	if d != 0 || used != 4 {
+		t.Fatalf("d=%d used=%d", d, used)
+	}
+}
+
+func TestPrefixAlignNeverWorseThanGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		q := randSeq(rng, 1+rng.Intn(50))
+		r := randSeq(rng, 1+rng.Intn(70))
+		d, c, used := PrefixAlign(q, r)
+		if g := EditDistance(q, r); d > g {
+			t.Fatalf("prefix distance %d > global %d", d, g)
+		}
+		if err := c.Check(q, r[:used]); err != nil {
+			t.Fatalf("cigar: %v", err)
+		}
+		if c.EditCost() != d {
+			t.Fatalf("cost %d != %d", c.EditCost(), d)
+		}
+		// Optimality: d equals min over all prefixes.
+		best := len(q)
+		for cut := 0; cut <= len(r); cut++ {
+			if e := EditDistance(q, r[:cut]); e < best {
+				best = e
+			}
+		}
+		if d != best {
+			t.Fatalf("prefix distance %d != brute force %d", d, best)
+		}
+	}
+}
+
+func TestAffineAlignAgainstBruteForceScore(t *testing.T) {
+	p := cigar.DefaultAffine
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 60; i++ {
+		q := randSeq(rng, 1+rng.Intn(40))
+		r := mutate(rng, q, 0.25)
+		score, c := AffineAlign(q, r, p)
+		if err := c.Check(q, r); err != nil {
+			t.Fatalf("cigar: %v", err)
+		}
+		if got := c.AffineScore(p); got != score {
+			t.Fatalf("cigar scores %d but DP says %d (%s)", got, score, c)
+		}
+		if s2 := AffineScore(q, r, p); s2 != score {
+			t.Fatalf("AffineScore %d != AffineAlign %d", s2, score)
+		}
+	}
+}
+
+func TestAffineAlignPrefersSingleLongGap(t *testing.T) {
+	// With affine penalties one 4-gap is cheaper than four 1-gaps.
+	q := []byte("AAAATTTT")
+	r := []byte("AAAACCCCTTTT")
+	score, c := AffineAlign(q, r, cigar.DefaultAffine)
+	wantScore := 8*2 - (4 + 4*2) // 8 matches, one 4-long del
+	if score != wantScore {
+		t.Fatalf("score %d want %d (%s)", score, wantScore, c)
+	}
+	dels := 0
+	for _, op := range c {
+		if op.Kind == cigar.Del {
+			dels++
+		}
+	}
+	if dels != 1 {
+		t.Fatalf("want a single deletion run, got %s", c)
+	}
+}
+
+func TestAffineScoreIdentical(t *testing.T) {
+	s := []byte("ACGTACGTAC")
+	score := AffineScore(s, s, cigar.DefaultAffine)
+	if score != len(s)*2 {
+		t.Fatalf("score %d want %d", score, len(s)*2)
+	}
+}
+
+func TestAffineEmpty(t *testing.T) {
+	p := cigar.DefaultAffine
+	score, c := AffineAlign(nil, []byte("ACG"), p)
+	if want := -(p.Q + 3*p.E); score != want {
+		t.Fatalf("score %d want %d", score, want)
+	}
+	if c.String() != "3D" {
+		t.Fatalf("cigar %s", c)
+	}
+}
+
+func BenchmarkEditDistance1k(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	q := randSeq(rng, 1000)
+	r := mutate(rng, q, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EditDistance(q, r)
+	}
+}

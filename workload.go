@@ -1,0 +1,106 @@
+package genasm
+
+import (
+	"genasm/internal/dna"
+	"genasm/internal/genome"
+	"genasm/internal/minimap"
+	"genasm/internal/readsim"
+)
+
+// Workload helpers: everything needed to reproduce the paper's pipeline
+// (genome -> simulated long reads -> candidate locations -> alignment)
+// through the public API. The examples/ programs are built on these.
+
+// GenerateGenome returns a synthetic reference with human-like GC content
+// and repeat structure (see internal/genome for the knobs).
+func GenerateGenome(length int, seed int64) []byte {
+	cfg := genome.DefaultConfig(length)
+	cfg.Seed = seed
+	return genome.Generate(cfg).Seq
+}
+
+// SimulatedRead is one read with ground truth.
+type SimulatedRead struct {
+	Name string
+	Seq  []byte
+	Qual []byte
+	// The read was drawn from ref[Pos : Pos+RefSpan]; RevComp reads are
+	// reported in read orientation.
+	Pos, RefSpan int
+	RevComp      bool
+	Errors       int
+}
+
+// SimulateLongReads draws PacBio-like long reads (PBSIM2-style error
+// model: indel-dominated, ~meanLen length, per-read error-rate jitter
+// around errorRate).
+func SimulateLongReads(ref []byte, n, meanLen int, errorRate float64, seed int64) ([]SimulatedRead, error) {
+	p := readsim.PacBioCLR()
+	p.MeanLength = meanLen
+	p.LengthSD = meanLen / 10
+	p.ErrorRate = errorRate
+	return simulate(ref, n, p, seed)
+}
+
+// SimulateShortReads draws Illumina-like short reads (substitution-
+// dominated errors).
+func SimulateShortReads(ref []byte, n, length int, errorRate float64, seed int64) ([]SimulatedRead, error) {
+	p := readsim.Illumina()
+	p.MeanLength = length
+	p.ErrorRate = errorRate
+	return simulate(ref, n, p, seed)
+}
+
+func simulate(ref []byte, n int, p readsim.Profile, seed int64) ([]SimulatedRead, error) {
+	reads, err := readsim.Simulate(ref, n, p, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SimulatedRead, len(reads))
+	for i, r := range reads {
+		out[i] = SimulatedRead{Name: r.Name, Seq: r.Seq, Qual: r.Qual,
+			Pos: r.Pos, RefSpan: r.RefSpan, RevComp: r.RevComp, Errors: r.Errors}
+	}
+	return out, nil
+}
+
+// CandidateRegion is one mapping location a read should be aligned
+// against.
+type CandidateRegion struct {
+	Start, End int
+	RevComp    bool
+	Score      float64
+}
+
+// Mapper finds candidate mapping locations with minimizer seeding and
+// chaining (minimap2-like, reporting all chains as with -P).
+type Mapper struct {
+	ix  *minimap.Index
+	opt minimap.ChainOpts
+}
+
+// NewMapper indexes a reference.
+func NewMapper(ref []byte) (*Mapper, error) {
+	ix, err := minimap.BuildIndexRaw(ref, minimap.DefaultIndexConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Mapper{ix: ix, opt: minimap.DefaultChainOpts()}, nil
+}
+
+// Candidates returns every chained candidate location for the read, best
+// first, with a 100 bp flank.
+func (m *Mapper) Candidates(read []byte) []CandidateRegion {
+	cands := m.ix.LocateRaw(read, m.opt, 100)
+	out := make([]CandidateRegion, len(cands))
+	for i, c := range cands {
+		out[i] = CandidateRegion{Start: c.RefStart, End: c.RefEnd, RevComp: c.RevComp, Score: c.Score}
+	}
+	return out
+}
+
+// ReverseComplement returns the reverse complement of a raw ASCII
+// sequence.
+func ReverseComplement(seq []byte) []byte {
+	return dna.DecodeSeq(dna.ReverseComplement(dna.EncodeSeq(seq)))
+}
