@@ -1,0 +1,217 @@
+package genasm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"genasm/internal/cigar"
+	"genasm/internal/dna"
+	"genasm/internal/gpu"
+	"genasm/internal/gpualign"
+)
+
+// backend executes alignments for an Engine. Implementations must be safe
+// for concurrent use and must produce bit-identical Results for the same
+// configuration (the paper's CPU/GPU equivalence claim).
+type backend interface {
+	align(ctx context.Context, p Pair) (Result, error)
+	alignBatch(ctx context.Context, pairs []Pair) ([]Result, error)
+	gpuStats() (GPUStats, bool)
+}
+
+// cpuBackend pools per-goroutine Aligners (the kernels keep scratch, so
+// an Aligner is single-goroutine; the pool amortizes construction across
+// calls instead of rebuilding one per AlignBatch worker).
+type cpuBackend struct {
+	threads int
+	pool    sync.Pool
+}
+
+func newCPUBackend(cfg Config, threads int) (*cpuBackend, error) {
+	if _, err := New(cfg); err != nil { // validate eagerly, once
+		return nil, err
+	}
+	b := &cpuBackend{threads: threads}
+	b.pool.New = func() any {
+		a, err := New(cfg)
+		if err != nil {
+			panic(err) // unreachable: cfg validated in newCPUBackend
+		}
+		return a
+	}
+	return b, nil
+}
+
+func (b *cpuBackend) gpuStats() (GPUStats, bool) { return GPUStats{}, false }
+
+func (b *cpuBackend) align(ctx context.Context, p Pair) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	a := b.pool.Get().(*Aligner)
+	defer b.pool.Put(a)
+	return a.Align(p.Query, p.Ref)
+}
+
+func (b *cpuBackend) alignBatch(ctx context.Context, pairs []Pair) ([]Result, error) {
+	if len(pairs) == 0 {
+		return []Result{}, ctx.Err()
+	}
+	threads := min(b.threads, len(pairs))
+	results := make([]Result, len(pairs))
+	if threads <= 1 {
+		a := b.pool.Get().(*Aligner)
+		defer b.pool.Put(a)
+		for i := range pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := a.Align(pairs[i].Query, pairs[i].Ref)
+			if err != nil {
+				return nil, fmt.Errorf("pair %d: %w", i, err)
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs := make(chan int, len(pairs))
+	for i := range pairs {
+		jobs <- i
+	}
+	close(jobs)
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			a := b.pool.Get().(*Aligner)
+			defer b.pool.Put(a)
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[t] = err
+					return
+				}
+				r, err := a.Align(pairs[i].Query, pairs[i].Ref)
+				if err != nil {
+					errs[t] = fmt.Errorf("pair %d: %w", i, err)
+					cancel() // stop the other workers promptly
+					return
+				}
+				results[i] = r
+			}
+		}(t)
+	}
+	wg.Wait()
+	// Report a real alignment failure over a cancellation it triggered.
+	var ctxErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if err == context.Canceled || err == context.DeadlineExceeded {
+			ctxErr = err
+			continue
+		}
+		return nil, err
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	return results, nil
+}
+
+// gpuBackend wraps the simulated-GPU batch path. A launch is monolithic
+// (as a real device launch would be), so cancellation is honoured at
+// launch boundaries, not within one.
+type gpuBackend struct {
+	gcfg gpualign.Config
+	pen  cigar.AffinePenalties
+
+	mu   sync.Mutex
+	last GPUStats
+	has  bool
+}
+
+func newGPUBackend(cfg Config, blocksPerSM int) (*gpuBackend, error) {
+	gcfg := gpualign.DefaultConfig(gpualign.Improved)
+	switch cfg.Algorithm {
+	case GenASM:
+	case GenASMUnimproved:
+		gcfg.Algorithm = gpualign.Unimproved
+	default:
+		return nil, fmt.Errorf("genasm: algorithm %q has no GPU kernel", cfg.Algorithm)
+	}
+	if cfg.DisableSENE || cfg.DisableDENT || cfg.DisableET {
+		return nil, fmt.Errorf("genasm: ablation toggles are CPU-only")
+	}
+	gcfg.W, gcfg.O, gcfg.InitialK = cfg.WindowSize, cfg.Overlap, cfg.ErrorK
+	if blocksPerSM > 0 {
+		gcfg.TargetBlocksPerSM = blocksPerSM
+	}
+	gcfg.Device = gpu.A6000()
+	// Validate the window geometry eagerly with a throwaway launch config
+	// check: the same Config constructor the CPU path uses.
+	if _, err := New(Config{Algorithm: cfg.Algorithm, WindowSize: cfg.WindowSize,
+		Overlap: cfg.Overlap, ErrorK: cfg.ErrorK}); err != nil {
+		return nil, err
+	}
+	return &gpuBackend{gcfg: gcfg, pen: cfg.penalties()}, nil
+}
+
+func (b *gpuBackend) gpuStats() (GPUStats, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.last, b.has
+}
+
+func (b *gpuBackend) align(ctx context.Context, p Pair) (Result, error) {
+	res, err := b.alignBatch(ctx, []Pair{p})
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+func (b *gpuBackend) alignBatch(ctx context.Context, pairs []Pair) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	jobs := make([]gpualign.Pair, len(pairs))
+	for i, p := range pairs {
+		jobs[i] = gpualign.Pair{Query: dna.EncodeSeq(p.Query), Ref: dna.EncodeSeq(p.Ref)}
+	}
+	batch, err := gpualign.AlignBatch(jobs, b.gcfg)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(pairs))
+	for i, r := range batch.Results {
+		results[i] = Result{
+			Distance:    r.Distance,
+			Score:       r.Cigar.AffineScore(b.pen),
+			Cigar:       r.Cigar.String(),
+			RefConsumed: r.RefConsumed,
+		}
+	}
+	st := GPUStats{
+		Device:         batch.Launch.Device,
+		Seconds:        batch.Launch.Seconds,
+		MakespanCycles: batch.Launch.MakespanCycles,
+		BlocksPerSM:    batch.Launch.BlocksPerSM,
+		SharedBlocks:   batch.SharedBlocks,
+		SpilledBlocks:  batch.SpilledBlocks,
+		PairsPerSecond: batch.Launch.Throughput(),
+	}
+	b.mu.Lock()
+	b.last, b.has = st, true
+	b.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

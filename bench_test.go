@@ -14,15 +14,18 @@
 // paper's non-time numbers; ns/op carries the speed comparisons. Run with:
 //
 //	go test -bench=. -benchmem
-package genasm
+package genasm_test
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
 
+	"genasm"
 	"genasm/internal/baseline"
 	"genasm/internal/core"
+	"genasm/internal/dna"
 	"genasm/internal/edlib"
 	"genasm/internal/eval"
 	"genasm/internal/gpu"
@@ -111,6 +114,65 @@ func BenchmarkE2MemoryAccesses(b *testing.B) {
 	b.ReportMetric(float64(imp.Accesses()), "improved-accesses")
 	b.ReportMetric(float64(unimp.Accesses()), "unimproved-accesses")
 	b.ReportMetric(float64(unimp.Accesses())/float64(imp.Accesses()), "access-reduction-x")
+}
+
+// BenchmarkEngineAlignBatch times the public Engine API on both backends
+// over the shared workload — the end-to-end path production callers hit
+// (pooled aligners, context checks, encode included).
+func BenchmarkEngineAlignBatch(b *testing.B) {
+	w := benchWorkload(b)
+	pairs := w.PublicPairs()
+	for _, kind := range []genasm.BackendKind{genasm.CPU, genasm.GPU} {
+		b.Run(kind.String(), func(b *testing.B) {
+			eng, err := genasm.NewEngine(genasm.WithBackend(kind))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.AlignBatch(context.Background(), pairs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportPairs(b, w)
+		})
+	}
+}
+
+// BenchmarkEngineMapAlign times the full streaming map-align pipeline
+// (candidate location + best-candidate alignment, ordered emission).
+func BenchmarkEngineMapAlign(b *testing.B) {
+	w := benchWorkload(b)
+	mapper, err := genasm.NewMapper(dna.DecodeSeq(w.Ref))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := genasm.NewEngine(genasm.WithMapper(mapper))
+	if err != nil {
+		b.Fatal(err)
+	}
+	reads := make([]genasm.Read, len(w.Reads))
+	for i, r := range w.Reads {
+		reads[i] = genasm.Read{Name: r.Name, Seq: r.Seq}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := eng.MapAlign(context.Background(), genasm.StreamReads(reads))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for m := range out {
+			if m.Err != nil {
+				b.Fatal(m.Err)
+			}
+			n++
+		}
+		if n != len(reads) {
+			b.Fatalf("emitted %d items for %d reads", n, len(reads))
+		}
+	}
+	b.ReportMetric(float64(len(reads))*float64(b.N)/b.Elapsed().Seconds(), "reads/s")
 }
 
 // BenchmarkE3CPUAligners times every CPU aligner on the shared workload;

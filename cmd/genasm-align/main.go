@@ -4,15 +4,20 @@
 //
 //	read  readLen  strand  refName  refStart  refEnd  distance  score  cigar
 //
-// Input formats: FASTA reference, FASTA or FASTQ reads.
+// Input formats: FASTA reference, FASTA or FASTQ reads. Reads stream
+// through the genasm.Engine map-align pipeline: alignment runs on all
+// cores while records are emitted in input order, and an interrupt
+// cancels the in-flight batch cleanly.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"genasm"
@@ -40,12 +45,23 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	die(run(*refPath, *readsPath, *algo, *allCands, out))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	die(runCtx(ctx, *refPath, *readsPath, *algo, *allCands, out))
 }
 
 // run executes the map-and-align pipeline; factored out of main so the
 // whole CLI path is testable.
 func run(refPath, readsPath, algo string, allCands bool, out io.Writer) error {
+	return runCtx(context.Background(), refPath, readsPath, algo, allCands, out)
+}
+
+func runCtx(ctx context.Context, refPath, readsPath, algo string, allCands bool, out io.Writer) error {
+	// Early returns (a per-read error mid-stream) must tear down the
+	// MapAlign pipeline rather than leak its goroutines.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	refFile, err := os.Open(refPath)
 	if err != nil {
 		return err
@@ -62,43 +78,49 @@ func run(refPath, readsPath, algo string, allCands bool, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	in := make([]genasm.Read, len(reads))
+	for i, rd := range reads {
+		in[i] = genasm.Read{Name: rd.Name, Seq: rd.Seq}
+	}
 	w := bufio.NewWriter(out)
 	defer w.Flush()
 
-	aligner, err := genasm.New(genasm.Config{Algorithm: genasm.Algorithm(algo)})
-	if err != nil {
-		return err
-	}
 	for _, ref := range refs {
 		mapper, err := genasm.NewMapper(ref.Seq)
 		if err != nil {
 			return err
 		}
-		for _, rd := range reads {
-			cands := mapper.Candidates(rd.Seq)
-			if len(cands) == 0 {
-				fmt.Fprintf(w, "%s\t%d\t*\tunmapped\n", rd.Name, len(rd.Seq))
+		eng, err := genasm.NewEngine(
+			genasm.WithAlgorithm(genasm.Algorithm(algo)),
+			genasm.WithMapper(mapper),
+			genasm.WithAllCandidates(allCands),
+		)
+		if err != nil {
+			return err
+		}
+		mals, err := eng.MapAlign(ctx, genasm.StreamReads(in))
+		if err != nil {
+			return err
+		}
+		for m := range mals {
+			if m.Err != nil {
+				return m.Err
+			}
+			if m.Unmapped {
+				fmt.Fprintf(w, "%s\t%d\t*\tunmapped\n", m.Read.Name, len(m.Read.Seq))
 				continue
 			}
-			n := 1
-			if allCands {
-				n = len(cands)
+			strand := "+"
+			if m.Candidate.RevComp {
+				strand = "-"
 			}
-			for _, c := range cands[:n] {
-				query := rd.Seq
-				strand := "+"
-				if c.RevComp {
-					query = genasm.ReverseComplement(query)
-					strand = "-"
-				}
-				res, err := aligner.Align(query, ref.Seq[c.Start:c.End])
-				if err != nil {
-					return err
-				}
-				fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
-					rd.Name, len(rd.Seq), strand, ref.Name,
-					c.Start, c.Start+res.RefConsumed, res.Distance, res.Score, res.Cigar)
-			}
+			fmt.Fprintf(w, "%s\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+				m.Read.Name, len(m.Read.Seq), strand, ref.Name,
+				m.Candidate.Start, m.Candidate.Start+m.Result.RefConsumed,
+				m.Result.Distance, m.Result.Score, m.Result.Cigar)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 	}
 	return w.Flush()

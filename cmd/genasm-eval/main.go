@@ -14,9 +14,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 
 	"genasm/internal/eval"
@@ -37,6 +39,13 @@ func main() {
 	)
 	flag.Parse()
 
+	// Interrupts cancel the in-flight experiment instead of killing the
+	// process mid-table; once cancelled, the handler is released so a
+	// second Ctrl-C terminates immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() { <-ctx.Done(); stop() }()
+
 	cfg := eval.WorkloadConfig{GenomeLen: *genomeLen, Reads: *reads, ReadLen: *readLen,
 		ErrorRate: *errRate, Seed: *seed, MaxPairs: *maxPairs}
 	if *quick {
@@ -49,50 +58,55 @@ func main() {
 	die(err)
 	fmt.Printf("candidate pairs: %d (%d query bases)\n\n", len(w.Pairs), w.TotalBases)
 
+	die(ctx.Err()) // ctx-unaware experiment: honour a pending interrupt here
 	t1, err := eval.E1MemoryFootprint(w)
 	die(err)
 	fmt.Println(t1.Format())
 
+	die(ctx.Err()) // ctx-unaware experiment: honour a pending interrupt here
 	t2, err := eval.E2MemoryAccesses(w)
 	die(err)
 	fmt.Println(t2.Format())
 
-	t3, times, err := eval.E3CPU(w, *threads, *withSWG)
+	t3, times, err := eval.E3CPU(ctx, w, *threads, *withSWG)
 	die(err)
 	fmt.Println(t3.Format())
 
-	t4, err := eval.E4GPU(w, times)
+	t4, err := eval.E4GPU(ctx, w, times)
 	die(err)
 	fmt.Println(t4.Format())
 
 	if *skipSlow {
 		return
 	}
-	a1, err := eval.A1Ablation(w, *threads)
+	a1, err := eval.A1Ablation(ctx, w, *threads)
 	die(err)
 	fmt.Println(a1.Format())
 
-	a2, err := eval.A2WindowSweep(w, *threads)
+	a2, err := eval.A2WindowSweep(ctx, w, *threads)
 	die(err)
 	fmt.Println(a2.Format())
 
-	a3, err := eval.A3ShortReads(*threads)
+	a3, err := eval.A3ShortReads(ctx, *threads)
 	die(err)
 	fmt.Println(a3.Format())
 
+	die(ctx.Err()) // ctx-unaware experiment: honour a pending interrupt here
 	a4, err := eval.A4Accuracy(w)
 	die(err)
 	fmt.Println(a4.Format())
 
+	die(ctx.Err()) // ctx-unaware experiment: honour a pending interrupt here
 	a5, err := eval.A5OccupancySweep(w)
 	die(err)
 	fmt.Println(a5.Format())
 
+	die(ctx.Err()) // ctx-unaware experiment: honour a pending interrupt here
 	a6, err := eval.A6Devices(w)
 	die(err)
 	fmt.Println(a6.Format())
 
-	a7, err := eval.A7ThreadScaling(w, *threads)
+	a7, err := eval.A7ThreadScaling(ctx, w, *threads)
 	die(err)
 	fmt.Println(a7.Format())
 }

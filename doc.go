@@ -10,24 +10,55 @@
 // DP working set by an order of magnitude and let whole alignment windows
 // live in on-chip memory.
 //
+// # The Engine
+//
+// All alignment runs through a genasm.Engine: a concurrency-safe,
+// context-aware service constructed with functional options. The same
+// configuration produces bit-identical results on either backend — the
+// CPU backend pools per-goroutine aligners, the GPU backend executes the
+// same kernels on a simulated SIMT device (an NVIDIA A6000 model) with a
+// shared-memory / L2 / DRAM cost model.
+//
+// Quick start:
+//
+//	eng, _ := genasm.NewEngine(
+//		genasm.WithAlgorithm(genasm.GenASM),
+//		genasm.WithBackend(genasm.CPU), // or genasm.GPU
+//	)
+//	res, _ := eng.Align(ctx, []byte("ACGTACGT..."), []byte("ACGTTACGT..."))
+//	fmt.Println(res.Distance, res.Cigar)
+//
+// Batches are context-cancellable and index-aligned with their input:
+//
+//	results, err := eng.AlignBatch(ctx, pairs)
+//
+// The full map-then-align pipeline (minimizer/chaining candidate location
+// followed by best-candidate alignment) streams with per-item errors and
+// ordered emission:
+//
+//	mapper, _ := genasm.NewMapper(ref)
+//	eng, _ := genasm.NewEngine(genasm.WithMapper(mapper))
+//	out, _ := eng.MapAlign(ctx, genasm.StreamReads(reads))
+//	for m := range out {
+//		if m.Err != nil || m.Unmapped { ... continue ... }
+//		use(m.Result)
+//	}
+//
 // The library ships:
 //
 //   - the improved GenASM aligner (Algorithm GenASM) for short and long
 //     reads, plus the unimproved MICRO'20 formulation (GenASMUnimproved)
 //     and reproductions of Edlib, KSW2 and Smith-Waterman-Gotoh as
-//     baselines, all behind one Aligner interface;
-//   - a batch API, and a GPU batch API that executes the same kernels on a
-//     simulated SIMT device (an NVIDIA A6000 model) with a shared-memory /
-//     L2 / DRAM cost model;
+//     baselines, all behind the one Engine;
+//   - a CPU backend with pooled aligners and a GPU backend running the
+//     same kernels on the simulated device — selected per Engine with
+//     WithBackend, bit-identical results either way;
 //   - workload tooling: synthetic genome generation, a PBSIM2-like read
 //     simulator, and a minimap2-like minimizer/chaining candidate
-//     generator.
+//     generator (Mapper).
 //
-// Quick start:
-//
-//	a, _ := genasm.New(genasm.Config{Algorithm: genasm.GenASM})
-//	res, _ := a.Align([]byte("ACGTACGT..."), []byte("ACGTTACGT..."))
-//	fmt.Println(res.Distance, res.Cigar)
+// The pre-Engine entry points (New/Align, AlignBatch, AlignBatchGPU)
+// remain as thin deprecated shims that delegate to an Engine.
 //
 // See examples/ for complete programs and DESIGN.md / EXPERIMENTS.md for
 // the paper-reproduction methodology.

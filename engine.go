@@ -1,0 +1,405 @@
+package genasm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BackendKind selects where an Engine executes alignments.
+type BackendKind int
+
+const (
+	// CPU executes alignments on pooled per-goroutine aligners.
+	CPU BackendKind = iota
+	// GPU executes alignments on the simulated SIMT device (an NVIDIA
+	// A6000 model; see internal/gpu). Functional results are bit-identical
+	// to the CPU backend for the same configuration.
+	GPU
+)
+
+func (k BackendKind) String() string {
+	switch k {
+	case CPU:
+		return "cpu"
+	case GPU:
+		return "gpu"
+	default:
+		return fmt.Sprintf("backend(%d)", int(k))
+	}
+}
+
+// engineSettings collects everything the functional options configure.
+type engineSettings struct {
+	cfg         Config
+	backend     BackendKind
+	threads     int
+	mapper      *Mapper
+	maxQueryLen int
+	allCands    bool
+	blocksPerSM int
+}
+
+// Option configures an Engine; see the With* constructors.
+type Option func(*engineSettings)
+
+// WithAlgorithm selects the aligner implementation (default GenASM).
+func WithAlgorithm(a Algorithm) Option {
+	return func(s *engineSettings) { s.cfg.Algorithm = a }
+}
+
+// WithBackend selects the execution backend (default CPU). The GPU backend
+// supports the GenASM algorithms only.
+func WithBackend(k BackendKind) Option {
+	return func(s *engineSettings) { s.backend = k }
+}
+
+// WithWindow sets the GenASM window geometry: window size w, overlap o and
+// per-window error budget k (zero values take the paper defaults 64/24/12).
+func WithWindow(w, o, k int) Option {
+	return func(s *engineSettings) {
+		s.cfg.WindowSize, s.cfg.Overlap, s.cfg.ErrorK = w, o, k
+	}
+}
+
+// WithScoring sets the affine-gap scoring parameters used for Result.Score
+// (and by the KSW2/SWG aligners): match bonus, mismatch penalty, gap-open
+// and gap-extend penalties. Zero values take the minimap2 defaults 2/4/4/2.
+func WithScoring(match, mismatch, gapOpen, gapExtend int) Option {
+	return func(s *engineSettings) {
+		s.cfg.MatchScore, s.cfg.MismatchPenalty = match, mismatch
+		s.cfg.GapOpen, s.cfg.GapExtend = gapOpen, gapExtend
+	}
+}
+
+// WithBandWidth bounds the KSW2 band (0 = minimap2's 500).
+func WithBandWidth(n int) Option {
+	return func(s *engineSettings) { s.cfg.BandWidth = n }
+}
+
+// WithAblation disables individual GenASM improvements for ablation
+// studies (improved GenASM on the CPU backend only).
+func WithAblation(disableSENE, disableDENT, disableET bool) Option {
+	return func(s *engineSettings) {
+		s.cfg.DisableSENE, s.cfg.DisableDENT, s.cfg.DisableET = disableSENE, disableDENT, disableET
+	}
+}
+
+// WithThreads sets the CPU worker count for AlignBatch and MapAlign
+// (default GOMAXPROCS).
+func WithThreads(n int) Option {
+	return func(s *engineSettings) { s.threads = n }
+}
+
+// WithMapper attaches a candidate-location mapper, enabling MapAlign.
+func WithMapper(m *Mapper) Option {
+	return func(s *engineSettings) { s.mapper = m }
+}
+
+// WithAllCandidates makes MapAlign align a read against every candidate
+// location (minimap2 -P style) instead of only the best one.
+func WithAllCandidates(all bool) Option {
+	return func(s *engineSettings) { s.allCands = all }
+}
+
+// WithMaxQueryLen rejects queries longer than n bases (0 = unlimited):
+// AlignBatch fails the batch, MapAlign surfaces a per-read error. A
+// production guardrail against unbounded per-request work.
+func WithMaxQueryLen(n int) Option {
+	return func(s *engineSettings) { s.maxQueryLen = n }
+}
+
+// WithGPUBlocksPerSM sets the GPU backend's target blocks per SM,
+// trading occupancy against per-block shared memory (default 8).
+func WithGPUBlocksPerSM(n int) Option {
+	return func(s *engineSettings) { s.blocksPerSM = n }
+}
+
+// WithConfig seeds every aligner parameter from a legacy Config; later
+// options still apply on top. A migration bridge for pre-Engine callers.
+func WithConfig(cfg Config) Option {
+	return func(s *engineSettings) { s.cfg = cfg }
+}
+
+// Engine is a concurrency-safe, context-aware alignment service. One
+// Engine can serve any number of concurrent AlignBatch / MapAlign /
+// Align calls; construction validates the whole configuration eagerly,
+// so a non-nil Engine never fails on configuration grounds afterwards.
+type Engine struct {
+	cfg         Config
+	kind        BackendKind
+	threads     int
+	mapper      *Mapper
+	maxQueryLen int
+	allCands    bool
+	be          backend
+}
+
+// NewEngine builds an Engine from functional options. The zero-option
+// call yields improved GenASM on the CPU backend with paper parameters.
+func NewEngine(opts ...Option) (*Engine, error) {
+	var s engineSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	cfg := s.cfg
+	cfg.fillDefaults()
+	if s.threads <= 0 {
+		s.threads = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		cfg:         cfg,
+		kind:        s.backend,
+		threads:     s.threads,
+		mapper:      s.mapper,
+		maxQueryLen: s.maxQueryLen,
+		allCands:    s.allCands,
+	}
+	var err error
+	switch s.backend {
+	case CPU:
+		e.be, err = newCPUBackend(cfg, s.threads)
+	case GPU:
+		e.be, err = newGPUBackend(cfg, s.blocksPerSM)
+	default:
+		err = fmt.Errorf("genasm: unknown backend %v", s.backend)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Config returns the engine's default-filled aligner configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Backend reports which backend the engine runs on.
+func (e *Engine) Backend() BackendKind { return e.kind }
+
+// GPUStats returns the simulated-device stats of the most recent launch.
+// The second return is false on the CPU backend or before any launch.
+func (e *Engine) GPUStats() (GPUStats, bool) { return e.be.gpuStats() }
+
+func (e *Engine) checkQuery(q []byte) error {
+	if e.maxQueryLen > 0 && len(q) > e.maxQueryLen {
+		return fmt.Errorf("genasm: query length %d exceeds limit %d", len(q), e.maxQueryLen)
+	}
+	return nil
+}
+
+// Align aligns one query against one candidate reference region. Both are
+// raw ASCII sequences; non-ACGT characters never match anything.
+func (e *Engine) Align(ctx context.Context, query, ref []byte) (Result, error) {
+	if err := e.checkQuery(query); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return e.be.align(ctx, Pair{Query: query, Ref: ref})
+}
+
+// AlignBatch aligns every pair and returns index-aligned results. The
+// batch is all-or-nothing: the first per-pair failure (or context
+// cancellation) fails the whole call. For per-item error semantics use
+// MapAlign.
+func (e *Engine) AlignBatch(ctx context.Context, pairs []Pair) ([]Result, error) {
+	for i := range pairs {
+		if err := e.checkQuery(pairs[i].Query); err != nil {
+			return nil, fmt.Errorf("pair %d: %w", i, err)
+		}
+	}
+	return e.be.alignBatch(ctx, pairs)
+}
+
+// Read is one input to the streaming MapAlign pipeline.
+type Read struct {
+	Name string
+	Seq  []byte
+}
+
+// StreamReads adapts a slice to the channel MapAlign consumes. The
+// returned channel is fully buffered and already closed to new sends, so
+// abandoning it leaks nothing.
+func StreamReads(reads []Read) <-chan Read {
+	ch := make(chan Read, len(reads))
+	for _, r := range reads {
+		ch <- r
+	}
+	close(ch)
+	return ch
+}
+
+// MappedAlignment is one emission of the MapAlign pipeline.
+type MappedAlignment struct {
+	// ReadIndex is the read's position in the input stream; emissions are
+	// ordered by ReadIndex, then Rank.
+	ReadIndex int
+	Read      Read
+	// Unmapped is set when the mapper found no candidate location.
+	Unmapped bool
+	// Candidate and Rank identify the aligned candidate location
+	// (Rank 0 = best) when the read mapped.
+	Candidate CandidateRegion
+	Rank      int
+	// Result is the alignment, valid when Err is nil and Unmapped is
+	// false.
+	Result Result
+	// Err is this item's failure; other reads in the stream are
+	// unaffected.
+	Err error
+}
+
+// MapAlign runs the full map-then-align pipeline as a stream: each read
+// is located with the engine's Mapper, its best candidate (or every
+// candidate, with WithAllCandidates) is aligned on the engine's backend,
+// and results are emitted in input order with per-item errors (an error
+// affects all of its read's emissions, never other reads). The returned
+// channel is closed when the input is exhausted or ctx is cancelled;
+// after a cancellation the consumer should check ctx.Err().
+//
+// On the GPU backend each read becomes one simulated device launch (its
+// candidates batched together); for maximum device throughput collect
+// pairs and call AlignBatch instead.
+func (e *Engine) MapAlign(ctx context.Context, reads <-chan Read) (<-chan MappedAlignment, error) {
+	if e.mapper == nil {
+		return nil, errors.New("genasm: MapAlign requires a mapper (use WithMapper)")
+	}
+	type indexedRead struct {
+		idx int
+		rd  Read
+	}
+	type item struct {
+		idx  int
+		mals []MappedAlignment
+	}
+	jobs := make(chan indexedRead)
+	items := make(chan item, e.threads)
+	out := make(chan MappedAlignment, e.threads)
+
+	// Feeder: index the stream.
+	go func() {
+		defer close(jobs)
+		idx := 0
+		for {
+			select {
+			case rd, ok := <-reads:
+				if !ok {
+					return
+				}
+				select {
+				case jobs <- indexedRead{idx, rd}:
+					idx++
+				case <-ctx.Done():
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Workers: map and align each read independently.
+	var wg sync.WaitGroup
+	for t := 0; t < e.threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				mals := e.mapAlignOne(ctx, j.idx, j.rd)
+				select {
+				case items <- item{j.idx, mals}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(items)
+	}()
+
+	// Reorderer: restore input order before emission.
+	go func() {
+		defer close(out)
+		pending := make(map[int][]MappedAlignment)
+		next := 0
+		for it := range items {
+			pending[it.idx] = it.mals
+			for {
+				mals, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				next++
+				for _, m := range mals {
+					select {
+					case out <- m:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}
+	}()
+	return out, nil
+}
+
+// mapAlignOne processes a single read; failures are confined to the
+// returned items. All of the read's candidates go to the backend as one
+// batch, so on the GPU a read is one simulated launch, not one per
+// candidate.
+func (e *Engine) mapAlignOne(ctx context.Context, idx int, rd Read) []MappedAlignment {
+	base := MappedAlignment{ReadIndex: idx, Read: rd}
+	if err := e.checkQuery(rd.Seq); err != nil {
+		base.Err = fmt.Errorf("read %q: %w", rd.Name, err)
+		return []MappedAlignment{base}
+	}
+	cands := e.mapper.Candidates(rd.Seq)
+	if len(cands) == 0 {
+		base.Unmapped = true
+		return []MappedAlignment{base}
+	}
+	if !e.allCands {
+		cands = cands[:1]
+	}
+	var rc []byte // lazily computed reverse complement
+	pairs := make([]Pair, len(cands))
+	out := make([]MappedAlignment, len(cands))
+	for i, c := range cands {
+		q := rd.Seq
+		if c.RevComp {
+			if rc == nil {
+				rc = ReverseComplement(rd.Seq)
+			}
+			q = rc
+		}
+		pairs[i] = Pair{Query: q, Ref: e.mapper.Region(c)}
+		out[i] = base
+		out[i].Candidate, out[i].Rank = c, i
+	}
+	var results []Result
+	var err error
+	if len(pairs) == 1 {
+		var r Result
+		r, err = e.be.align(ctx, pairs[0])
+		results = []Result{r}
+	} else {
+		results, err = e.be.alignBatch(ctx, pairs)
+	}
+	if err != nil {
+		err = fmt.Errorf("read %q: %w", rd.Name, err)
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	for i := range out {
+		out[i].Result = results[i]
+	}
+	return out
+}

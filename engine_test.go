@@ -1,0 +1,355 @@
+package genasm
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func testPairs(seed int64, n, length int, rate float64) []Pair {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]Pair, n)
+	for i := range pairs {
+		q := randSeq(rng, length/2+rng.Intn(length))
+		pairs[i] = Pair{Query: q, Ref: mutate(rng, q, rate)}
+	}
+	return pairs
+}
+
+// TestEngineBackendParity is the paper's core claim through the public
+// API: the same configuration produces bit-identical Results on the CPU
+// and GPU backends, for both GenASM variants.
+func TestEngineBackendParity(t *testing.T) {
+	ctx := context.Background()
+	pairs := testPairs(11, 24, 400, 0.1)
+	for _, algo := range []Algorithm{GenASM, GenASMUnimproved} {
+		cpuEng, err := NewEngine(WithAlgorithm(algo), WithBackend(CPU))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpuEng, err := NewEngine(WithAlgorithm(algo), WithBackend(GPU))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpuRes, err := cpuEng.AlignBatch(ctx, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpuRes, err := gpuEng.AlignBatch(ctx, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pairs {
+			if cpuRes[i] != gpuRes[i] {
+				t.Fatalf("%s pair %d: cpu %+v != gpu %+v", algo, i, cpuRes[i], gpuRes[i])
+			}
+		}
+	}
+}
+
+func TestEngineAlignBatchContextCancellation(t *testing.T) {
+	// Pre-cancelled context: both backends must refuse immediately.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	small := testPairs(12, 4, 200, 0.1)
+	for _, kind := range []BackendKind{CPU, GPU} {
+		eng, err := NewEngine(WithBackend(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.AlignBatch(cancelled, small); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v backend: err = %v, want context.Canceled", kind, err)
+		}
+	}
+
+	// Mid-batch deadline: a batch far larger than 1 ms of work must stop
+	// early and report the deadline, on both the threaded and the
+	// single-threaded CPU path.
+	big := testPairs(13, 2000, 1000, 0.1)
+	for _, threads := range []int{1, 4} {
+		eng, err := NewEngine(WithThreads(threads))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		_, err = eng.AlignBatch(ctx, big)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("threads=%d: err = %v, want context.DeadlineExceeded", threads, err)
+		}
+	}
+}
+
+func TestEngineOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"unknown algorithm", []Option{WithAlgorithm("bwa")}},
+		{"overlap >= window", []Option{WithWindow(16, 20, 4)}},
+		{"error budget > window", []Option{WithWindow(64, 24, 70)}},
+		{"gpu kernel for edlib", []Option{WithBackend(GPU), WithAlgorithm(Edlib)}},
+		{"gpu ablation", []Option{WithBackend(GPU), WithAblation(false, false, true)}},
+		{"dent without sene", []Option{WithAblation(true, false, false)}},
+		{"unknown backend", []Option{WithBackend(BackendKind(99))}},
+	}
+	for _, tc := range cases {
+		if _, err := NewEngine(tc.opts...); err == nil {
+			t.Fatalf("%s: NewEngine accepted invalid options", tc.name)
+		}
+	}
+	// And the zero-option engine must be valid.
+	if _, err := NewEngine(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineMaxQueryLen(t *testing.T) {
+	eng, err := NewEngine(WithMaxQueryLen(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	ok := randSeq(rng, 100)
+	long := randSeq(rng, 101)
+	if _, err := eng.Align(context.Background(), ok, ok); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Align(context.Background(), long, long); err == nil {
+		t.Fatal("accepted over-limit query")
+	}
+	if _, err := eng.AlignBatch(context.Background(), []Pair{{Query: ok, Ref: ok}, {Query: long, Ref: long}}); err == nil {
+		t.Fatal("batch accepted over-limit query")
+	}
+}
+
+// mapAlignFixture builds a genome, a mapper-equipped engine and an input
+// read set with known properties: most reads map, read junkIdx is random
+// junk (unmapped), read longIdx exceeds the engine's query limit.
+func mapAlignFixture(t *testing.T, opts ...Option) (eng *Engine, in []Read, junkIdx, longIdx int) {
+	t.Helper()
+	ref := GenerateGenome(150_000, 21)
+	reads, err := SimulateLongReads(ref, 12, 1500, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := NewMapper(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err = NewEngine(append([]Option{
+		WithMapper(mapper),
+		WithMaxQueryLen(2500),
+	}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reads {
+		in = append(in, Read{Name: r.Name, Seq: r.Seq})
+		_ = i
+	}
+	rng := rand.New(rand.NewSource(3))
+	junkIdx = len(in)
+	in = append(in, Read{Name: "junk", Seq: randSeq(rng, 300)})
+	longIdx = len(in)
+	in = append(in, Read{Name: "too-long", Seq: ref[1000:4000]})
+	return eng, in, junkIdx, longIdx
+}
+
+func TestMapAlignOrderedWithPerItemErrors(t *testing.T) {
+	eng, in, junkIdx, longIdx := mapAlignFixture(t)
+	out, err := eng.MapAlign(context.Background(), StreamReads(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]MappedAlignment)
+	last := -1
+	for m := range out {
+		if m.ReadIndex < last {
+			t.Fatalf("emission out of order: %d after %d", m.ReadIndex, last)
+		}
+		last = m.ReadIndex
+		seen[m.ReadIndex] = m
+	}
+	if len(seen) != len(in) {
+		t.Fatalf("emitted %d reads, want %d", len(seen), len(in))
+	}
+	for idx, m := range seen {
+		switch idx {
+		case junkIdx:
+			if !m.Unmapped || m.Err != nil {
+				t.Fatalf("junk read: %+v", m)
+			}
+		case longIdx:
+			if m.Err == nil {
+				t.Fatal("over-limit read did not surface a per-item error")
+			}
+		default:
+			if m.Err != nil {
+				t.Fatalf("read %d: unexpected error %v", idx, m.Err)
+			}
+			if m.Unmapped {
+				continue // rare, but legal for a noisy simulated read
+			}
+			if m.Result.Cigar == "" || m.Result.Distance > len(m.Read.Seq) {
+				t.Fatalf("read %d: implausible result %+v", idx, m.Result)
+			}
+		}
+	}
+}
+
+func TestMapAlignAllCandidates(t *testing.T) {
+	engBest, in, _, _ := mapAlignFixture(t)
+	engAll, _, _, _ := mapAlignFixture(t, WithAllCandidates(true))
+
+	count := func(eng *Engine) (items int, ranks map[int][]int) {
+		out, err := eng.MapAlign(context.Background(), StreamReads(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranks = make(map[int][]int)
+		for m := range out {
+			items++
+			if !m.Unmapped && m.Err == nil {
+				ranks[m.ReadIndex] = append(ranks[m.ReadIndex], m.Rank)
+			}
+		}
+		return items, ranks
+	}
+	nBest, bestRanks := count(engBest)
+	nAll, allRanks := count(engAll)
+	if nAll < nBest {
+		t.Fatalf("all-candidates emitted %d < best-only %d", nAll, nBest)
+	}
+	for idx, rs := range bestRanks {
+		if len(rs) != 1 || rs[0] != 0 {
+			t.Fatalf("best-only read %d ranks %v", idx, rs)
+		}
+	}
+	for idx, rs := range allRanks {
+		for want, got := range rs {
+			if got != want {
+				t.Fatalf("read %d ranks %v not contiguous", idx, rs)
+			}
+		}
+	}
+}
+
+func TestMapAlignRequiresMapper(t *testing.T) {
+	eng, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.MapAlign(context.Background(), StreamReads(nil)); err == nil {
+		t.Fatal("MapAlign without a mapper accepted")
+	}
+}
+
+func TestMapAlignCancellationClosesStream(t *testing.T) {
+	eng, in, _, _ := mapAlignFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	out, err := eng.MapAlign(ctx, StreamReads(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// The stream must terminate (closed channel) rather than hang.
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-out:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("MapAlign stream did not close after cancellation")
+		}
+	}
+}
+
+func TestEngineGPUStats(t *testing.T) {
+	ctx := context.Background()
+	pairs := testPairs(15, 6, 300, 0.1)
+	cpuEng, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cpuEng.GPUStats(); ok {
+		t.Fatal("CPU backend reported GPU stats")
+	}
+	gpuEng, err := NewEngine(WithBackend(GPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := gpuEng.GPUStats(); ok {
+		t.Fatal("GPU stats before any launch")
+	}
+	if _, err := gpuEng.AlignBatch(ctx, pairs); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := gpuEng.GPUStats()
+	if !ok || st.Seconds <= 0 || st.PairsPerSecond <= 0 || st.Device == "" {
+		t.Fatalf("stats %+v ok=%v", st, ok)
+	}
+}
+
+// TestDeprecatedShimsMatchEngine pins the compatibility contract: the old
+// entry points must produce exactly what the Engine produces.
+func TestDeprecatedShimsMatchEngine(t *testing.T) {
+	ctx := context.Background()
+	pairs := testPairs(16, 10, 300, 0.1)
+
+	old, err := AlignBatch(Config{Algorithm: GenASM}, pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(WithAlgorithm(GenASM), WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, err := eng.AlignBatch(ctx, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if old[i] != now[i] {
+			t.Fatalf("pair %d: shim %+v != engine %+v", i, old[i], now[i])
+		}
+	}
+
+	oldGPU, oldSt, err := AlignBatchGPU(GPUConfig{}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuEng, err := NewEngine(WithBackend(GPU))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nowGPU, err := gpuEng.AlignBatch(ctx, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if oldGPU[i] != nowGPU[i] {
+			t.Fatalf("pair %d: gpu shim %+v != engine %+v", i, oldGPU[i], nowGPU[i])
+		}
+	}
+	newSt, ok := gpuEng.GPUStats()
+	if !ok || oldSt.MakespanCycles != newSt.MakespanCycles {
+		t.Fatalf("gpu stats diverge: shim %+v engine %+v", oldSt, newSt)
+	}
+}
+
+func TestStreamReads(t *testing.T) {
+	in := []Read{{Name: "a"}, {Name: "b"}}
+	ch := StreamReads(in)
+	var got []string
+	for r := range ch {
+		got = append(got, r.Name)
+	}
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got %v", got)
+	}
+}

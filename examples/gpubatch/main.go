@@ -1,9 +1,11 @@
-// Gpubatch runs the paper's GPU experiment on the simulated A6000: the
-// same candidate pairs aligned by the improved and unimproved GenASM GPU
-// kernels, showing the shared-memory-fit mechanism behind the speedup.
+// Gpubatch runs the paper's GPU experiment on the simulated A6000 through
+// the Engine API: the same candidate pairs aligned by the improved and
+// unimproved GenASM GPU kernels, showing the shared-memory-fit mechanism
+// behind the speedup.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -12,6 +14,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	ref := genasm.GenerateGenome(800_000, 3)
 	reads, err := genasm.SimulateLongReads(ref, 40, 10_000, 0.10, 3)
 	if err != nil {
@@ -28,19 +32,28 @@ func main() {
 			if c.RevComp {
 				q = genasm.ReverseComplement(q)
 			}
-			pairs = append(pairs, genasm.Pair{Query: q, Ref: ref[c.Start:c.End]})
+			pairs = append(pairs, genasm.Pair{Query: q, Ref: mapper.Region(c)})
 		}
 	}
 	fmt.Printf("launching %d alignment blocks on the device model...\n\n", len(pairs))
 
-	impRes, imp, err := genasm.AlignBatchGPU(genasm.GPUConfig{Algorithm: genasm.GenASM}, pairs)
-	if err != nil {
-		log.Fatal(err)
+	launch := func(algo genasm.Algorithm) ([]genasm.Result, genasm.GPUStats) {
+		eng, err := genasm.NewEngine(genasm.WithBackend(genasm.GPU), genasm.WithAlgorithm(algo))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.AlignBatch(ctx, pairs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, ok := eng.GPUStats()
+		if !ok {
+			log.Fatal("no GPU stats after launch")
+		}
+		return res, st
 	}
-	unimpRes, unimp, err := genasm.AlignBatchGPU(genasm.GPUConfig{Algorithm: genasm.GenASMUnimproved}, pairs)
-	if err != nil {
-		log.Fatal(err)
-	}
+	impRes, imp := launch(genasm.GenASM)
+	unimpRes, unimp := launch(genasm.GenASMUnimproved)
 
 	// The improvements change memory behaviour, never answers.
 	for i := range impRes {

@@ -1,10 +1,13 @@
-// Longread runs the paper's full pipeline at laptop scale: synthesize a
-// repeat-bearing genome, simulate PacBio-like 10 kb reads (PBSIM2-style
-// error model), find candidate locations by minimizer chaining (minimap2
-// -P style), and align every (read, candidate) pair with improved GenASM.
+// Longread runs the paper's full pipeline at laptop scale with the
+// streaming Engine API: synthesize a repeat-bearing genome, simulate
+// PacBio-like 10 kb reads (PBSIM2-style error model), and stream them
+// through Engine.MapAlign, which locates candidates by minimizer chaining
+// (minimap2 -P style) and aligns each read at its best candidate with
+// improved GenASM — emitting results in input order as they finish.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -19,6 +22,7 @@ func main() {
 		readLen   = 10_000
 		errorRate = 0.10
 	)
+	ctx := context.Background()
 
 	fmt.Printf("generating %d bp genome...\n", genomeLen)
 	ref := genasm.GenerateGenome(genomeLen, 42)
@@ -29,54 +33,55 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("indexing reference and locating candidates...")
+	fmt.Println("indexing reference...")
 	mapper, err := genasm.NewMapper(ref)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Align each read at its best candidate location (its primary
-	// alignment). The eval harness (cmd/genasm-eval) additionally aligns
-	// every secondary chain, as the paper's -P extraction does.
-	var pairs []genasm.Pair
-	var truth []int // ground-truth error count per pair
-	for _, r := range reads {
-		cands := mapper.Candidates(r.Seq)
-		if len(cands) == 0 {
-			continue
-		}
-		c := cands[0]
-		q := r.Seq
-		if c.RevComp {
-			q = genasm.ReverseComplement(q)
-		}
-		pairs = append(pairs, genasm.Pair{Query: q, Ref: ref[c.Start:c.End]})
-		truth = append(truth, r.Errors)
-	}
-	fmt.Printf("aligning %d primary candidate pairs with improved GenASM...\n", len(pairs))
-
-	start := time.Now()
-	results, err := genasm.AlignBatch(genasm.Config{Algorithm: genasm.GenASM}, pairs, 0)
+	eng, err := genasm.NewEngine(
+		genasm.WithAlgorithm(genasm.GenASM),
+		genasm.WithMapper(mapper),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	elapsed := time.Since(start)
 
-	var bases, dist int
-	good := 0
-	for i, res := range results {
-		bases += len(pairs[i].Query)
-		dist += res.Distance
-		// The alignment cost should be close to the number of
-		// simulated errors.
-		if res.Distance <= truth[i]+truth[i]/4+16 {
+	in := make([]genasm.Read, len(reads))
+	for i, r := range reads {
+		in[i] = genasm.Read{Name: r.Name, Seq: r.Seq}
+	}
+	fmt.Printf("streaming %d reads through map-align (improved GenASM)...\n", len(in))
+
+	start := time.Now()
+	out, err := eng.MapAlign(ctx, genasm.StreamReads(in))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pairs, bases, dist, good, unmapped int
+	for m := range out {
+		if m.Err != nil {
+			log.Fatal(m.Err)
+		}
+		if m.Unmapped {
+			unmapped++
+			continue
+		}
+		pairs++
+		bases += len(m.Read.Seq)
+		dist += m.Result.Distance
+		// The alignment cost should be close to the number of simulated
+		// errors (ground truth rides along via the input index).
+		truth := reads[m.ReadIndex].Errors
+		if m.Result.Distance <= truth+truth/4+16 {
 			good++
 		}
 	}
-	fmt.Printf("\naligned %d pairs (%d bases) in %v  (%.0f pairs/s, %.1f Mbases/s)\n",
-		len(pairs), bases, elapsed.Round(time.Millisecond),
-		float64(len(pairs))/elapsed.Seconds(), float64(bases)/elapsed.Seconds()/1e6)
+	elapsed := time.Since(start)
+
+	fmt.Printf("\naligned %d reads (%d bases, %d unmapped) in %v  (%.0f reads/s, %.1f Mbases/s)\n",
+		pairs, bases, unmapped, elapsed.Round(time.Millisecond),
+		float64(pairs)/elapsed.Seconds(), float64(bases)/elapsed.Seconds()/1e6)
 	fmt.Printf("mean distance per base: %.4f (simulated error rate %.2f)\n",
 		float64(dist)/float64(bases), errorRate)
-	fmt.Printf("alignments within tolerance of ground truth: %d/%d\n", good, len(pairs))
+	fmt.Printf("alignments within tolerance of ground truth: %d/%d\n", good, pairs)
 }

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,6 +11,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A 120 bp query with a substitution, a 3 bp deletion and a 2 bp
 	// insertion relative to the reference region.
 	ref := []byte("ACGTACGGTTAACCGGAATTCCGGTTAACCAGTCAGTCAGTCGGATCGATCGATCGTTAA" +
@@ -19,11 +22,11 @@ func main() {
 		"CCGGTATTCCGGACCAGTCAGTCAGTCGGCCATCGATCGATCGAACCGGTTACGTACGT")
 
 	for _, algo := range genasm.Algorithms() {
-		aligner, err := genasm.New(genasm.Config{Algorithm: algo})
+		eng, err := genasm.NewEngine(genasm.WithAlgorithm(algo))
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := aligner.Align(query, ref)
+		res, err := eng.Align(ctx, query, ref)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,9 +1,11 @@
-// Shortread demonstrates the "both short and long reads" claim: align an
-// Illumina-like batch (150 bp, 1% error) and verify GenASM's distances
-// against Edlib's exact global distances at candidate loci.
+// Shortread demonstrates the "both short and long reads" claim: stream an
+// Illumina-like batch (150 bp, 1% error) through map-align with GenASM,
+// then verify GenASM's distances against Edlib's exact global distances
+// on the consumed spans.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,6 +13,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	ref := genasm.GenerateGenome(500_000, 7)
 	reads, err := genasm.SimulateShortReads(ref, 2_000, 150, 0.01, 7)
 	if err != nil {
@@ -20,50 +24,67 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	var pairs []genasm.Pair
-	for _, r := range reads {
-		cands := mapper.Candidates(r.Seq)
-		if len(cands) == 0 {
-			continue
-		}
-		q := r.Seq
-		if cands[0].RevComp {
-			q = genasm.ReverseComplement(q)
-		}
-		pairs = append(pairs, genasm.Pair{Query: q, Ref: ref[cands[0].Start:cands[0].End]})
-	}
-	fmt.Printf("%d/%d short reads located; aligning with GenASM and Edlib...\n", len(pairs), len(reads))
-
-	gen, err := genasm.AlignBatch(genasm.Config{Algorithm: genasm.GenASM}, pairs, 0)
+	gen, err := genasm.NewEngine(
+		genasm.WithAlgorithm(genasm.GenASM),
+		genasm.WithMapper(mapper),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Edlib aligns globally, so give it the GenASM-consumed prefix: the
-	// two must then agree exactly on these low-error windows.
-	trimmed := make([]genasm.Pair, len(pairs))
-	for i, p := range pairs {
-		trimmed[i] = genasm.Pair{Query: p.Query, Ref: p.Ref[:gen[i].RefConsumed]}
+	in := make([]genasm.Read, len(reads))
+	for i, r := range reads {
+		in[i] = genasm.Read{Name: r.Name, Seq: r.Seq}
 	}
-	edl, err := genasm.AlignBatch(genasm.Config{Algorithm: genasm.Edlib}, trimmed, 0)
+	out, err := gen.MapAlign(ctx, genasm.StreamReads(in))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Collect GenASM's answers and build the Edlib re-check batch: Edlib
+	// aligns globally, so give it the GenASM-consumed prefix — the two
+	// must then agree exactly on these low-error windows.
+	var located []genasm.MappedAlignment
+	var trimmed []genasm.Pair
+	for m := range out {
+		if m.Err != nil {
+			log.Fatal(m.Err)
+		}
+		if m.Unmapped {
+			continue
+		}
+		region := mapper.Region(m.Candidate)
+		q := m.Read.Seq
+		if m.Candidate.RevComp {
+			q = genasm.ReverseComplement(q)
+		}
+		located = append(located, m)
+		trimmed = append(trimmed, genasm.Pair{Query: q, Ref: region[:m.Result.RefConsumed]})
+	}
+	fmt.Printf("%d/%d short reads located; re-checking with Edlib...\n", len(located), len(reads))
+
+	edlibEng, err := genasm.NewEngine(genasm.WithAlgorithm(genasm.Edlib))
+	if err != nil {
+		log.Fatal(err)
+	}
+	edl, err := edlibEng.AlignBatch(ctx, trimmed)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	agree, worse := 0, 0
 	histo := map[int]int{}
-	for i := range gen {
-		histo[gen[i].Distance]++
+	for i, m := range located {
+		histo[m.Result.Distance]++
 		switch {
-		case gen[i].Distance == edl[i].Distance:
+		case m.Result.Distance == edl[i].Distance:
 			agree++
-		case gen[i].Distance > edl[i].Distance:
+		case m.Result.Distance > edl[i].Distance:
 			worse++
 		}
 	}
 	fmt.Printf("distance agreement with Edlib: %d/%d exact, %d windowing-suboptimal\n",
-		agree, len(gen), worse)
+		agree, len(located), worse)
 	fmt.Println("distance histogram (edits per 150 bp read):")
 	for d := 0; d <= 8; d++ {
 		if histo[d] > 0 {

@@ -1,10 +1,9 @@
 package genasm
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"genasm/internal/baseline"
 	"genasm/internal/cigar"
@@ -113,6 +112,10 @@ type Aligner struct {
 }
 
 // New builds an Aligner for cfg.
+//
+// Deprecated: new code should construct an Engine with NewEngine, which
+// pools aligners and adds batch, streaming and backend selection on top
+// of the same kernels. New remains the single-goroutine building block.
 func New(cfg Config) (*Aligner, error) {
 	cfg.fillDefaults()
 	a := &Aligner{cfg: cfg}
@@ -195,57 +198,16 @@ type Pair struct {
 	Query, Ref []byte
 }
 
-// AlignBatch aligns every pair with `threads` goroutines (0 = GOMAXPROCS),
-// creating one Aligner per goroutine. Results are index-aligned with pairs.
+// AlignBatch aligns every pair with `threads` goroutines (0 = GOMAXPROCS).
+// Results are index-aligned with pairs.
+//
+// Deprecated: use NewEngine and Engine.AlignBatch, which add context
+// cancellation, aligner pooling and backend selection. This shim
+// delegates to a throwaway Engine.
 func AlignBatch(cfg Config, pairs []Pair, threads int) ([]Result, error) {
-	if threads <= 0 {
-		threads = runtime.GOMAXPROCS(0)
-	}
-	if threads > len(pairs) && len(pairs) > 0 {
-		threads = len(pairs)
-	}
-	if _, err := New(cfg); err != nil {
+	eng, err := NewEngine(WithConfig(cfg), WithThreads(threads))
+	if err != nil {
 		return nil, err
 	}
-	results := make([]Result, len(pairs))
-	jobs := make(chan int, len(pairs))
-	for i := range pairs {
-		jobs <- i
-	}
-	close(jobs)
-	errs := make([]error, threads)
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			al, err := New(cfg)
-			if err != nil {
-				errs[t] = err
-				return
-			}
-			for i := range jobs {
-				r, err := al.Align(pairs[i].Query, pairs[i].Ref)
-				if err != nil {
-					errs[t] = fmt.Errorf("pair %d: %w", i, err)
-					return
-				}
-				results[i] = r
-			}
-		}(t)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return eng.AlignBatch(context.Background(), pairs)
 }

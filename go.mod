@@ -1,0 +1,3 @@
+module genasm
+
+go 1.22

@@ -1,12 +1,6 @@
 package genasm
 
-import (
-	"fmt"
-
-	"genasm/internal/dna"
-	"genasm/internal/gpu"
-	"genasm/internal/gpualign"
-)
+import "context"
 
 // GPUConfig configures a batch launch on the simulated GPU.
 type GPUConfig struct {
@@ -35,54 +29,28 @@ type GPUStats struct {
 // AlignBatchGPU aligns every pair on a simulated NVIDIA A6000. Functional
 // results are bit-identical to the corresponding CPU algorithm; timing
 // comes from the SIMT cost model (see internal/gpu).
+//
+// Deprecated: use NewEngine(WithBackend(GPU), ...) and Engine.AlignBatch;
+// launch stats are available from Engine.GPUStats. This shim delegates to
+// a throwaway Engine.
 func AlignBatchGPU(cfg GPUConfig, pairs []Pair) ([]Result, GPUStats, error) {
-	gcfg := gpualign.DefaultConfig(gpualign.Improved)
-	switch cfg.Algorithm {
-	case "", GenASM:
-	case GenASMUnimproved:
-		gcfg.Algorithm = gpualign.Unimproved
-	default:
-		return nil, GPUStats{}, fmt.Errorf("genasm: algorithm %q has no GPU kernel", cfg.Algorithm)
+	algo := cfg.Algorithm
+	if algo == "" {
+		algo = GenASM
 	}
-	if cfg.WindowSize != 0 {
-		gcfg.W = cfg.WindowSize
-		gcfg.O = cfg.Overlap
-	}
-	if cfg.ErrorK != 0 {
-		gcfg.InitialK = cfg.ErrorK
-	}
+	opts := []Option{WithBackend(GPU), WithAlgorithm(algo),
+		WithWindow(cfg.WindowSize, cfg.Overlap, cfg.ErrorK)}
 	if cfg.TargetBlocksPerSM != 0 {
-		gcfg.TargetBlocksPerSM = cfg.TargetBlocksPerSM
+		opts = append(opts, WithGPUBlocksPerSM(cfg.TargetBlocksPerSM))
 	}
-	gcfg.Device = gpu.A6000()
-
-	jobs := make([]gpualign.Pair, len(pairs))
-	for i, p := range pairs {
-		jobs[i] = gpualign.Pair{Query: dna.EncodeSeq(p.Query), Ref: dna.EncodeSeq(p.Ref)}
-	}
-	batch, err := gpualign.AlignBatch(jobs, gcfg)
+	eng, err := NewEngine(opts...)
 	if err != nil {
 		return nil, GPUStats{}, err
 	}
-	results := make([]Result, len(pairs))
-	var c Config
-	c.fillDefaults()
-	for i, r := range batch.Results {
-		results[i] = Result{
-			Distance:    r.Distance,
-			Score:       r.Cigar.AffineScore(c.penalties()),
-			Cigar:       r.Cigar.String(),
-			RefConsumed: r.RefConsumed,
-		}
+	results, err := eng.AlignBatch(context.Background(), pairs)
+	if err != nil {
+		return nil, GPUStats{}, err
 	}
-	st := GPUStats{
-		Device:         batch.Launch.Device,
-		Seconds:        batch.Launch.Seconds,
-		MakespanCycles: batch.Launch.MakespanCycles,
-		BlocksPerSM:    batch.Launch.BlocksPerSM,
-		SharedBlocks:   batch.SharedBlocks,
-		SpilledBlocks:  batch.SpilledBlocks,
-		PairsPerSecond: batch.Launch.Throughput(),
-	}
+	st, _ := eng.GPUStats()
 	return results, st, nil
 }

@@ -281,10 +281,3 @@ func FromPair(query, ref []byte) (Cigar, error) {
 	}
 	return c, nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

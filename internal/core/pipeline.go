@@ -120,10 +120,3 @@ func (a *Aligner) AlignEncoded(query, ref []byte) (Result, error) {
 func (a *Aligner) AlignWindow(p, t []byte) (WindowResult, error) {
 	return a.wa.alignWindow(p, t)
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

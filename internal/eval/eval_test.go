@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -95,7 +96,7 @@ func TestE3AndE4RunAndOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab, times, err := E3CPU(w, 2, false)
+	tab, times, err := E3CPU(context.Background(), w, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestE3AndE4RunAndOrder(t *testing.T) {
 	if times["GenASM-improved"] >= times["KSW2"] {
 		t.Fatalf("improved (%v) not faster than KSW2 (%v)", times["GenASM-improved"], times["KSW2"])
 	}
-	g, err := E4GPU(w, times)
+	g, err := E4GPU(context.Background(), w, times)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestA1AblationRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab, err := A1Ablation(w, 2)
+	tab, err := A1Ablation(context.Background(), w, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestA2SweepRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tab, err := A2WindowSweep(w, 2)
+	tab, err := A2WindowSweep(context.Background(), w, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

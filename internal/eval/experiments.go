@@ -1,19 +1,26 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"genasm"
 	"genasm/internal/baseline"
 	"genasm/internal/core"
-	"genasm/internal/edlib"
-	"genasm/internal/gpualign"
 	"genasm/internal/ksw2"
 	"genasm/internal/stats"
 	"genasm/internal/swg"
 )
+
+// The timed experiments (E3, E4, A1, A2, A7) run through the public
+// genasm.Engine — the same code path production callers use — so the
+// tables measure the shipped API, not a private harness. The memory
+// instrumentation experiments (E1, E2, counter columns of A1) stay on the
+// internal counter hooks, which the public API deliberately does not
+// expose.
 
 // runCounters aligns every pair with the given aligner constructor and
 // aggregates memory counters.
@@ -130,117 +137,93 @@ func E2MemoryAccesses(w *Workload) (*Table, error) {
 
 // cpuAligner is one named competitor in E3.
 type cpuAligner struct {
-	Name string
-	// New returns a per-goroutine alignment function.
-	New func() (func(q, t []byte) error, error)
+	Name      string
+	Algorithm genasm.Algorithm
+	// ScoreOnly marks the SWG reference, which is timed score-only (its
+	// full-matrix traceback would not fit memory at 10 kb reads).
+	ScoreOnly bool
 }
 
 // CPUAligners returns the paper's CPU competitor set. SWG is included as
-// the quadratic-DP reference the introduction motivates against (score
-// only; its full-matrix traceback would not fit memory at 10 kb).
+// the quadratic-DP reference the introduction motivates against.
 func CPUAligners(includeSWG bool) []cpuAligner {
 	out := []cpuAligner{
-		{
-			Name: "GenASM-improved",
-			New: func() (func(q, t []byte) error, error) {
-				a, err := core.New(core.DefaultConfig())
-				if err != nil {
-					return nil, err
-				}
-				return func(q, t []byte) error { _, err := a.AlignEncoded(q, t); return err }, nil
-			},
-		},
-		{
-			Name: "GenASM-unimproved",
-			New: func() (func(q, t []byte) error, error) {
-				a, err := baseline.New(baseline.DefaultConfig())
-				if err != nil {
-					return nil, err
-				}
-				return func(q, t []byte) error { _, err := a.AlignEncoded(q, t); return err }, nil
-			},
-		},
-		{
-			Name: "Edlib",
-			New: func() (func(q, t []byte) error, error) {
-				return func(q, t []byte) error { _, _, err := edlib.AlignEncoded(q, t); return err }, nil
-			},
-		},
-		{
-			Name: "KSW2",
-			New: func() (func(q, t []byte) error, error) {
-				p := ksw2.DefaultParams()
-				return func(q, t []byte) error { _, _, err := ksw2.GlobalAlignEncoded(q, t, p); return err }, nil
-			},
-		},
+		{Name: "GenASM-improved", Algorithm: genasm.GenASM},
+		{Name: "GenASM-unimproved", Algorithm: genasm.GenASMUnimproved},
+		{Name: "Edlib", Algorithm: genasm.Edlib},
+		{Name: "KSW2", Algorithm: genasm.KSW2},
 	}
 	if includeSWG {
-		out = append(out, cpuAligner{
-			Name: "SWG (full DP, score only)",
-			New: func() (func(q, t []byte) error, error) {
-				return func(q, t []byte) error {
-					swg.AffineScore(decode(q), decode(t), ksw2.DefaultParams().Penalties)
-					return nil
-				}, nil
-			},
-		})
+		out = append(out, cpuAligner{Name: "SWG (full DP, score only)", Algorithm: genasm.SWG, ScoreOnly: true})
 	}
 	return out
 }
 
-func decode(codes []byte) []byte {
-	out := make([]byte, len(codes))
-	const alpha = "ACGTN"
-	for i, c := range codes {
-		out[i] = alpha[c]
-	}
-	return out
-}
-
-// timeAligner measures wall time aligning all pairs with `threads`
-// goroutines.
-func timeAligner(w *Workload, a cpuAligner, threads int) (time.Duration, error) {
+// timeEngine measures wall time aligning all pairs through an Engine
+// built from opts with `threads` workers.
+func timeEngine(ctx context.Context, w *Workload, threads int, opts ...genasm.Option) (time.Duration, []genasm.Result, error) {
 	if threads < 1 {
 		threads = runtime.GOMAXPROCS(0)
 	}
-	jobs := make(chan int, len(w.Pairs))
-	for i := range w.Pairs {
+	eng, err := genasm.NewEngine(append(opts, genasm.WithThreads(threads))...)
+	if err != nil {
+		return 0, nil, err
+	}
+	pairs := w.PublicPairs()
+	start := time.Now()
+	res, err := eng.AlignBatch(ctx, pairs)
+	if err != nil {
+		return 0, nil, err
+	}
+	return time.Since(start), res, nil
+}
+
+// timeSWGScoreOnly times the quadratic reference, score only, threaded
+// like the Engine's CPU backend.
+func timeSWGScoreOnly(ctx context.Context, w *Workload, threads int) (time.Duration, error) {
+	if threads < 1 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	pairs := w.PublicPairs()
+	pen := ksw2.DefaultParams().Penalties
+	jobs := make(chan int, len(pairs))
+	for i := range pairs {
 		jobs <- i
 	}
 	close(jobs)
 	var wg sync.WaitGroup
-	errs := make([]error, threads)
 	start := time.Now()
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
-		go func(t int) {
+		go func() {
 			defer wg.Done()
-			fn, err := a.New()
-			if err != nil {
-				errs[t] = err
-				return
-			}
 			for i := range jobs {
-				if err := fn(w.Pairs[i].Query, w.Pairs[i].Ref); err != nil {
-					errs[t] = err
+				if ctx.Err() != nil {
 					return
 				}
+				swg.AffineScore(pairs[i].Query, pairs[i].Ref, pen)
 			}
-		}(t)
+		}()
 	}
 	wg.Wait()
-	el := time.Since(start)
-	for _, err := range errs {
-		if err != nil {
-			return 0, err
-		}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
-	return el, nil
+	return time.Since(start), nil
+}
+
+// timeAligner measures wall time aligning all pairs with one competitor.
+func timeAligner(ctx context.Context, w *Workload, a cpuAligner, threads int) (time.Duration, error) {
+	if a.ScoreOnly {
+		return timeSWGScoreOnly(ctx, w, threads)
+	}
+	el, _, err := timeEngine(ctx, w, threads, genasm.WithAlgorithm(a.Algorithm))
+	return el, err
 }
 
 // E3CPU reproduces the paper's CPU comparison: improved GenASM vs KSW2
 // (paper 15.2x), Edlib (1.7x) and unimproved GenASM (1.9x).
-func E3CPU(w *Workload, threads int, includeSWG bool) (*Table, map[string]time.Duration, error) {
+func E3CPU(ctx context.Context, w *Workload, threads int, includeSWG bool) (*Table, map[string]time.Duration, error) {
 	times := map[string]time.Duration{}
 	tab := &Table{
 		ID:     "E3",
@@ -248,7 +231,7 @@ func E3CPU(w *Workload, threads int, includeSWG bool) (*Table, map[string]time.D
 		Header: []string{"aligner", "time", "pairs/s", "speedup of improved"},
 	}
 	for _, a := range CPUAligners(includeSWG) {
-		el, err := timeAligner(w, a, threads)
+		el, err := timeAligner(ctx, w, a, threads)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
@@ -270,12 +253,23 @@ func E3CPU(w *Workload, threads int, includeSWG bool) (*Table, map[string]time.D
 // E4GPU reproduces the paper's GPU comparison on the simulated A6000:
 // improved-GPU vs improved-CPU (paper 4.1x), vs unimproved-GPU (5.9x), and
 // vs the CPU baselines (KSW2 62x, Edlib 7.2x).
-func E4GPU(w *Workload, cpuTimes map[string]time.Duration) (*Table, error) {
-	imp, err := gpualign.AlignBatch(w.Pairs, gpualign.DefaultConfig(gpualign.Improved))
+func E4GPU(ctx context.Context, w *Workload, cpuTimes map[string]time.Duration) (*Table, error) {
+	launch := func(algo genasm.Algorithm) (genasm.GPUStats, error) {
+		eng, err := genasm.NewEngine(genasm.WithBackend(genasm.GPU), genasm.WithAlgorithm(algo))
+		if err != nil {
+			return genasm.GPUStats{}, err
+		}
+		if _, err := eng.AlignBatch(ctx, w.PublicPairs()); err != nil {
+			return genasm.GPUStats{}, err
+		}
+		st, _ := eng.GPUStats()
+		return st, nil
+	}
+	imp, err := launch(genasm.GenASM)
 	if err != nil {
 		return nil, err
 	}
-	unimp, err := gpualign.AlignBatch(w.Pairs, gpualign.DefaultConfig(gpualign.Unimproved))
+	unimp, err := launch(genasm.GenASMUnimproved)
 	if err != nil {
 		return nil, err
 	}
@@ -284,7 +278,7 @@ func E4GPU(w *Workload, cpuTimes map[string]time.Duration) (*Table, error) {
 		Title:  "GPU (simulated A6000) vs CPU (paper: 4.1x vs own CPU, 5.9x vs unimproved GPU, 62x vs KSW2, 7.2x vs Edlib)",
 		Header: []string{"configuration", "time", "pairs/s", "speedup of improved GPU"},
 	}
-	gi := imp.Launch.Seconds
+	gi := imp.Seconds
 	row := func(name string, sec float64) {
 		tab.Rows = append(tab.Rows, []string{
 			name,
@@ -294,7 +288,7 @@ func E4GPU(w *Workload, cpuTimes map[string]time.Duration) (*Table, error) {
 		})
 	}
 	row("GenASM-improved GPU", gi)
-	row("GenASM-unimproved GPU", unimp.Launch.Seconds)
+	row("GenASM-unimproved GPU", unimp.Seconds)
 	for _, name := range []string{"GenASM-improved", "GenASM-unimproved", "Edlib", "KSW2"} {
 		if el, ok := cpuTimes[name]; ok {
 			row(name+" CPU", el.Seconds())
@@ -310,24 +304,16 @@ func E4GPU(w *Workload, cpuTimes map[string]time.Duration) (*Table, error) {
 
 // A1Ablation toggles each improvement separately (the paper's claim that
 // the improvements are what make GenASM outrun Edlib).
-func A1Ablation(w *Workload, threads int) (*Table, error) {
+func A1Ablation(ctx context.Context, w *Workload, threads int) (*Table, error) {
 	cfgs := []struct {
-		name string
-		cfg  core.Config
+		name           string
+		sene, dent, et bool // disables
 	}{
-		{"all improvements (SENE+DENT+ET)", core.DefaultConfig()},
-		{"SENE+DENT (no ET)", func() core.Config { c := core.DefaultConfig(); c.DisableET = true; return c }()},
-		{"SENE+ET (no DENT)", func() core.Config { c := core.DefaultConfig(); c.DisableDENT = true; return c }()},
-		{"SENE only", func() core.Config {
-			c := core.DefaultConfig()
-			c.DisableDENT, c.DisableET = true, true
-			return c
-		}()},
-		{"none (edge storage, no ET)", func() core.Config {
-			c := core.DefaultConfig()
-			c.DisableSENE, c.DisableDENT, c.DisableET = true, true, true
-			return c
-		}()},
+		{"all improvements (SENE+DENT+ET)", false, false, false},
+		{"SENE+DENT (no ET)", false, false, true},
+		{"SENE+ET (no DENT)", false, true, false},
+		{"SENE only", false, true, true},
+		{"none (edge storage, no ET)", true, true, true},
 	}
 	tab := &Table{
 		ID:     "A1",
@@ -335,19 +321,13 @@ func A1Ablation(w *Workload, threads int) (*Table, error) {
 		Header: []string{"configuration", "time", "peak footprint (bits)", "accesses"},
 	}
 	for _, c := range cfgs {
-		cfg := c.cfg
-		al := cpuAligner{Name: c.name, New: func() (func(q, t []byte) error, error) {
-			a, err := core.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			return func(q, t []byte) error { _, err := a.AlignEncoded(q, t); return err }, nil
-		}}
-		el, err := timeAligner(w, al, threads)
+		el, _, err := timeEngine(ctx, w, threads, genasm.WithAblation(c.sene, c.dent, c.et))
 		if err != nil {
 			return nil, err
 		}
-		ctr, err := runCounters(w, newImproved(cfg))
+		coreCfg := core.DefaultConfig()
+		coreCfg.DisableSENE, coreCfg.DisableDENT, coreCfg.DisableET = c.sene, c.dent, c.et
+		ctr, err := runCounters(w, newImproved(coreCfg))
 		if err != nil {
 			return nil, err
 		}
@@ -360,7 +340,7 @@ func A1Ablation(w *Workload, threads int) (*Table, error) {
 }
 
 // A2WindowSweep measures sensitivity to window size and overlap.
-func A2WindowSweep(w *Workload, threads int) (*Table, error) {
+func A2WindowSweep(ctx context.Context, w *Workload, threads int) (*Table, error) {
 	tab := &Table{
 		ID:     "A2",
 		Title:  "Window geometry sweep (accuracy vs speed)",
@@ -369,27 +349,13 @@ func A2WindowSweep(w *Workload, threads int) (*Table, error) {
 	for _, geo := range []struct{ W, O, K int }{
 		{32, 12, 8}, {64, 24, 12}, {64, 32, 12}, {128, 48, 20},
 	} {
-		cfg := core.Config{W: geo.W, O: geo.O, InitialK: geo.K}
-		var total int64
-		var mu sync.Mutex
-		al := cpuAligner{New: func() (func(q, t []byte) error, error) {
-			a, err := core.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			return func(q, t []byte) error {
-				r, err := a.AlignEncoded(q, t)
-				if err == nil {
-					mu.Lock()
-					total += int64(r.Distance)
-					mu.Unlock()
-				}
-				return err
-			}, nil
-		}}
-		el, err := timeAligner(w, al, threads)
+		el, res, err := timeEngine(ctx, w, threads, genasm.WithWindow(geo.W, geo.O, geo.K))
 		if err != nil {
 			return nil, err
+		}
+		var total int64
+		for _, r := range res {
+			total += int64(r.Distance)
 		}
 		tab.Rows = append(tab.Rows, []string{
 			fmt.Sprint(geo.W), fmt.Sprint(geo.O), fmt.Sprint(geo.K),
@@ -404,14 +370,14 @@ func A2WindowSweep(w *Workload, threads int) (*Table, error) {
 
 // A3ShortReads reruns the CPU comparison on an Illumina-like workload
 // (the paper claims both short and long reads are supported).
-func A3ShortReads(threads int) (*Table, error) {
+func A3ShortReads(ctx context.Context, threads int) (*Table, error) {
 	cfg := WorkloadConfig{GenomeLen: 500_000, Reads: 400, ReadLen: 150,
 		ErrorRate: 0.02, Seed: 11, ShortReads: true}
 	w, err := BuildWorkload(cfg)
 	if err != nil {
 		return nil, err
 	}
-	tab, _, err := E3CPU(w, threads, false)
+	tab, _, err := E3CPU(ctx, w, threads, false)
 	if err != nil {
 		return nil, err
 	}

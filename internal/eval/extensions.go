@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -157,7 +158,7 @@ func SWGReference(w *Workload) (time.Duration, error) {
 // A7ThreadScaling measures the improved CPU aligner's multithreaded
 // scaling (the paper ran its CPU comparison with 48 threads; this shows
 // how throughput scales with the thread count on the host).
-func A7ThreadScaling(w *Workload, maxThreads int) (*Table, error) {
+func A7ThreadScaling(ctx context.Context, w *Workload, maxThreads int) (*Table, error) {
 	tab := &Table{
 		ID:     "A7",
 		Title:  "CPU thread scaling, improved GenASM",
@@ -166,7 +167,7 @@ func A7ThreadScaling(w *Workload, maxThreads int) (*Table, error) {
 	aligner := CPUAligners(false)[0] // GenASM-improved
 	var base time.Duration
 	for threads := 1; threads <= maxThreads; threads *= 2 {
-		el, err := timeAligner(w, aligner, threads)
+		el, err := timeAligner(ctx, w, aligner, threads)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -79,7 +80,7 @@ func TestSWGReferenceRuns(t *testing.T) {
 
 func TestA7ThreadScaling(t *testing.T) {
 	w := smallWorkload(t)
-	tab, err := A7ThreadScaling(w, 4)
+	tab, err := A7ThreadScaling(context.Background(), w, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,7 +7,9 @@ package eval
 
 import (
 	"fmt"
+	"sync"
 
+	"genasm"
 	"genasm/internal/dna"
 	"genasm/internal/genome"
 	"genasm/internal/gpualign"
@@ -50,6 +52,21 @@ type Workload struct {
 	Pairs []gpualign.Pair
 	// TotalBases is the summed query length over all pairs.
 	TotalBases int
+
+	pubOnce  sync.Once
+	pubPairs []genasm.Pair
+}
+
+// PublicPairs returns the workload pairs decoded to raw ASCII for the
+// public Engine API, memoized after the first call.
+func (w *Workload) PublicPairs() []genasm.Pair {
+	w.pubOnce.Do(func() {
+		w.pubPairs = make([]genasm.Pair, len(w.Pairs))
+		for i, p := range w.Pairs {
+			w.pubPairs[i] = genasm.Pair{Query: dna.DecodeSeq(p.Query), Ref: dna.DecodeSeq(p.Ref)}
+		}
+	})
+	return w.pubPairs
 }
 
 // BuildWorkload runs the candidate-generation pipeline.

@@ -67,7 +67,7 @@ func chainStrand(a []anchor, k int, opt ChainOpts, rev bool) []Chain {
 			if dd < 0 {
 				dd = -dd
 			}
-			gain := float64(minInt(minInt(dr, dt), k)) - gapCost(dd, k)
+			gain := float64(min(dr, dt, k)) - gapCost(dd, k)
 			if s := score[j] + gain; s > score[i] {
 				score[i] = s
 				prev[i] = int32(j)
@@ -168,11 +168,4 @@ func (ix *Index) Locate(read []byte, opt ChainOpts, flank int) []Candidate {
 // LocateRaw is Locate on a raw ASCII read.
 func (ix *Index) LocateRaw(read []byte, opt ChainOpts, flank int) []Candidate {
 	return ix.Locate(dna.EncodeSeq(read), opt, flank)
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

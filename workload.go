@@ -73,20 +73,29 @@ type CandidateRegion struct {
 }
 
 // Mapper finds candidate mapping locations with minimizer seeding and
-// chaining (minimap2-like, reporting all chains as with -P).
+// chaining (minimap2-like, reporting all chains as with -P). Lookups are
+// read-only, so one Mapper serves any number of goroutines.
 type Mapper struct {
 	ix  *minimap.Index
 	opt minimap.ChainOpts
+	ref []byte
 }
 
-// NewMapper indexes a reference.
+// NewMapper indexes a reference. The Mapper keeps ref (without copying),
+// so candidate regions can be sliced back out with Region.
 func NewMapper(ref []byte) (*Mapper, error) {
 	ix, err := minimap.BuildIndexRaw(ref, minimap.DefaultIndexConfig())
 	if err != nil {
 		return nil, err
 	}
-	return &Mapper{ix: ix, opt: minimap.DefaultChainOpts()}, nil
+	return &Mapper{ix: ix, opt: minimap.DefaultChainOpts(), ref: ref}, nil
 }
+
+// Ref returns the indexed reference sequence.
+func (m *Mapper) Ref() []byte { return m.ref }
+
+// Region returns the reference slice a candidate points at.
+func (m *Mapper) Region(c CandidateRegion) []byte { return m.ref[c.Start:c.End] }
 
 // Candidates returns every chained candidate location for the read, best
 // first, with a 100 bp flank.
