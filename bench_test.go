@@ -18,11 +18,17 @@ package genasm_test
 
 import (
 	"context"
+	"encoding/json"
+	"flag"
 	"math/rand"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"genasm"
+	"genasm/server"
 	"genasm/internal/baseline"
 	"genasm/internal/core"
 	"genasm/internal/dna"
@@ -41,7 +47,7 @@ var (
 
 // benchWorkload builds one shared moderate workload: 1 Mb genome, 40 reads
 // of ~5 kb at 10% error (the paper's pipeline, scaled to bench runtime).
-func benchWorkload(b *testing.B) *eval.Workload {
+func benchWorkload(b testing.TB) *eval.Workload {
 	b.Helper()
 	workloadOnce.Do(func() {
 		w, err := eval.BuildWorkload(eval.WorkloadConfig{
@@ -412,6 +418,114 @@ func BenchmarkA6Devices(b *testing.B) {
 			b.ReportMetric(last.Launch.Seconds*1e3, "gpu-ms")
 		})
 	}
+}
+
+// benchSchedulerSubmit drives the serving layer's dynamic batcher with
+// single-pair submissions from many goroutines — the serving traffic
+// shape — so ns/op is the per-request cost including coalescing.
+func benchSchedulerSubmit(b *testing.B, pairs []genasm.Pair) *server.Scheduler {
+	eng, err := genasm.NewEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := server.NewScheduler(eng, server.SchedulerConfig{
+		MaxBatch: 64, MaxDelay: 2 * time.Millisecond, MaxQueue: 1 << 20,
+	}, nil)
+	b.Cleanup(s.Close)
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			p := pairs[i%len(pairs)]
+			if _, err := s.Submit(context.Background(), []genasm.Pair{p}); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	return s
+}
+
+// BenchmarkSchedulerCoalesce measures the server's dynamic batcher over
+// the shared workload: concurrent single-pair requests coalescing into
+// backend batches. pairs/batch shows the achieved coalescing.
+func BenchmarkSchedulerCoalesce(b *testing.B) {
+	w := benchWorkload(b)
+	s := benchSchedulerSubmit(b, w.PublicPairs())
+	snap := s.Metrics().Snapshot()
+	if mean, ok := snap["batch_size_mean"].(float64); ok {
+		b.ReportMetric(mean, "pairs/batch")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "alignments/s")
+}
+
+// benchJSONPath enables the machine-readable benchmark mode:
+//
+//	go test -run TestBenchJSON -benchjson BENCH_1.json .
+//
+// writes ns/op and alignments/sec for the CPU and GPU backends and the
+// serving scheduler, so the perf trajectory is tracked across PRs.
+var benchJSONPath = flag.String("benchjson", "", "write machine-readable benchmark results to this file")
+
+func TestBenchJSON(t *testing.T) {
+	if *benchJSONPath == "" {
+		t.Skip("-benchjson not set")
+	}
+	w := benchWorkload(t)
+	pairs := w.PublicPairs()
+
+	type entry struct {
+		Name             string  `json:"name"`
+		NsPerOp          int64   `json:"ns_per_op"`
+		AlignmentsPerSec float64 `json:"alignments_per_sec"`
+	}
+	var entries []entry
+	for _, kind := range []genasm.BackendKind{genasm.CPU, genasm.GPU} {
+		eng, err := genasm.NewEngine(genasm.WithBackend(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.AlignBatch(context.Background(), pairs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		entries = append(entries, entry{
+			Name:             "EngineAlignBatch/" + kind.String(),
+			NsPerOp:          r.NsPerOp(),
+			AlignmentsPerSec: float64(len(pairs)) * float64(r.N) / r.T.Seconds(),
+		})
+	}
+	r := testing.Benchmark(func(b *testing.B) { benchSchedulerSubmit(b, pairs) })
+	entries = append(entries, entry{
+		Name:             "SchedulerCoalesce",
+		NsPerOp:          r.NsPerOp(),
+		AlignmentsPerSec: float64(r.N) / r.T.Seconds(), // one pair per op
+	})
+
+	report := map[string]any{
+		"schema":     1,
+		"go":         runtime.Version(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"workload": map[string]any{
+			"genome_len": 1_000_000, "reads": 40, "read_len": 5_000, "error_rate": 0.10,
+			"pairs": len(pairs),
+		},
+		"benchmarks": entries,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*benchJSONPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", *benchJSONPath)
 }
 
 // BenchmarkWindowAlign is the micro-benchmark of the core contribution:

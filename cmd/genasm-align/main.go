@@ -18,9 +18,9 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"strings"
 
 	"genasm"
+	"genasm/internal/cliutil"
 	"genasm/internal/genome"
 	"genasm/internal/readsim"
 )
@@ -38,16 +38,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	out := os.Stdout
-	if *outPath != "-" {
-		f, err := os.Create(*outPath)
-		die(err)
-		defer f.Close()
-		out = f
-	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	die(runCtx(ctx, *refPath, *readsPath, *algo, *allCands, out))
+	die(cliutil.WriteAtomic(*outPath, func(out io.Writer) error {
+		return runCtx(ctx, *refPath, *readsPath, *algo, *allCands, out)
+	}))
 }
 
 // run executes the map-and-align pipeline; factored out of main so the
@@ -74,7 +69,7 @@ func runCtx(ctx context.Context, refPath, readsPath, algo string, allCands bool,
 	if len(refs) == 0 {
 		return fmt.Errorf("no sequences in %s", refPath)
 	}
-	reads, err := loadReads(readsPath)
+	reads, err := readsim.LoadReadsFile(readsPath)
 	if err != nil {
 		return err
 	}
@@ -124,26 +119,6 @@ func runCtx(ctx context.Context, refPath, readsPath, algo string, allCands bool,
 		}
 	}
 	return w.Flush()
-}
-
-func loadReads(path string) ([]readsim.Read, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".fq") || strings.HasSuffix(path, ".fastq") {
-		return readsim.ReadFASTQ(f)
-	}
-	recs, err := genome.ReadFASTA(f)
-	if err != nil {
-		return nil, err
-	}
-	reads := make([]readsim.Read, len(recs))
-	for i, r := range recs {
-		reads[i] = readsim.Read{Name: r.Name, Seq: r.Seq}
-	}
-	return reads, nil
 }
 
 func die(err error) {

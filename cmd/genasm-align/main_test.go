@@ -135,11 +135,11 @@ func TestRunRejectsBadInputs(t *testing.T) {
 func TestLoadReadsFormats(t *testing.T) {
 	dir := t.TempDir()
 	_, fqPath, faPath, reads := writeTestData(t, dir)
-	fq, err := loadReads(fqPath)
+	fq, err := readsim.LoadReadsFile(fqPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fa, err := loadReads(faPath)
+	fa, err := readsim.LoadReadsFile(faPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestLoadReadsFormats(t *testing.T) {
 	if !bytes.Equal(fq[0].Seq, fa[0].Seq) {
 		t.Fatal("formats disagree")
 	}
-	if _, err := loadReads(filepath.Join(dir, "nope.fq")); err == nil {
+	if _, err := readsim.LoadReadsFile(filepath.Join(dir, "nope.fq")); err == nil {
 		t.Fatal("accepted missing reads file")
 	}
 }

@@ -1,0 +1,201 @@
+// Command genasm-serve exposes the genasm alignment engine as a batching
+// HTTP JSON service (see the server package): concurrent /align and
+// /map-align requests coalesce into backend-sized batches, references
+// upload once into a shared minimizer index, results are LRU-cached, and
+// /metrics + /healthz report operational state.
+//
+// Example:
+//
+//	genasm-serve -addr :8080 -backend cpu -ref chr1=chr1.fa
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/align \
+//	    -d '{"pairs":[{"query":"ACGTACGT","ref":"ACGTTACGT"}]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"genasm"
+	"genasm/internal/genome"
+	"genasm/server"
+)
+
+// options collects every flag so the whole serve path is testable.
+type options struct {
+	addr       string
+	backend    string
+	algo       string
+	threads    int
+	maxQuery   int
+	batch      int
+	batchDelay time.Duration
+	queue      int
+	cacheSize  int
+	refs       []refSpec // preloaded name=path references
+}
+
+type refSpec struct{ name, path string }
+
+func defaultOptions() options {
+	return options{
+		addr:       ":8080",
+		backend:    "cpu",
+		algo:       "genasm",
+		batch:      64,
+		batchDelay: 2 * time.Millisecond,
+		queue:      4096,
+		cacheSize:  4096,
+	}
+}
+
+// parseRefFlag parses a -ref value of the form name=path.fa.
+func parseRefFlag(v string) (refSpec, error) {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return refSpec{}, fmt.Errorf("-ref wants name=path.fa, got %q", v)
+	}
+	return refSpec{name: name, path: path}, nil
+}
+
+// engineOptions translates the flags into genasm Engine options.
+func (o options) engineOptions() ([]genasm.Option, error) {
+	var kind genasm.BackendKind
+	switch o.backend {
+	case "cpu":
+		kind = genasm.CPU
+	case "gpu":
+		kind = genasm.GPU
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want cpu or gpu)", o.backend)
+	}
+	opts := []genasm.Option{
+		genasm.WithAlgorithm(genasm.Algorithm(o.algo)),
+		genasm.WithBackend(kind),
+	}
+	if o.threads > 0 {
+		opts = append(opts, genasm.WithThreads(o.threads))
+	}
+	if o.maxQuery > 0 {
+		opts = append(opts, genasm.WithMaxQueryLen(o.maxQuery))
+	}
+	return opts, nil
+}
+
+// buildServer assembles the server and preloads the -ref references.
+func buildServer(o options) (*server.Server, error) {
+	engOpts, err := o.engineOptions()
+	if err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{
+		EngineOptions: engOpts,
+		Scheduler: server.SchedulerConfig{
+			MaxBatch: o.batch,
+			MaxDelay: o.batchDelay,
+			MaxQueue: o.queue,
+		},
+		CacheSize: o.cacheSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rs := range o.refs {
+		f, err := os.Open(rs.path)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := genome.ReadFASTA(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", rs.path, err)
+		}
+		if len(recs) == 0 {
+			return nil, fmt.Errorf("no sequences in %s", rs.path)
+		}
+		if _, err := srv.Registry().Add(rs.name, recs[0].Seq); err != nil {
+			return nil, err
+		}
+	}
+	return srv, nil
+}
+
+// run serves until ctx is cancelled, then shuts down gracefully: the
+// listener closes, in-flight requests get shutdownGrace to finish, and
+// the scheduler drains. ready (optional) receives the bound address once
+// the listener is up — tests use it to learn the :0 port.
+func run(ctx context.Context, o options, logw io.Writer, ready func(addr string)) error {
+	srv, err := buildServer(o)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "genasm-serve: listening on %s (backend=%s, refs=%d)\n",
+		ln.Addr(), srv.Engine().Backend(), srv.Registry().Len())
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	const shutdownGrace = 10 * time.Second
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		err = hs.Shutdown(sctx)
+		srv.Close() // drain the batch scheduler after the listener stops
+		fmt.Fprintln(logw, "genasm-serve: shut down")
+		return err
+	case err := <-errc:
+		srv.Close()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+func main() {
+	o := defaultOptions()
+	flag.StringVar(&o.addr, "addr", o.addr, "listen address")
+	flag.StringVar(&o.backend, "backend", o.backend, "execution backend: cpu | gpu")
+	flag.StringVar(&o.algo, "algo", o.algo, "algorithm: genasm | genasm-unimproved | edlib | ksw2 | swg")
+	flag.IntVar(&o.threads, "threads", 0, "CPU worker threads (0 = GOMAXPROCS)")
+	flag.IntVar(&o.maxQuery, "max-query", 0, "reject queries longer than this (0 = unlimited)")
+	flag.IntVar(&o.batch, "batch", o.batch, "flush a backend batch at this many pending pairs")
+	flag.DurationVar(&o.batchDelay, "batch-delay", o.batchDelay, "max time a pair waits for its batch to fill")
+	flag.IntVar(&o.queue, "queue", o.queue, "max pairs admitted but not completed (429 beyond)")
+	flag.IntVar(&o.cacheSize, "cache", o.cacheSize, "result cache entries (<0 disables)")
+	flag.Func("ref", "preload a reference: name=path.fa (repeatable)", func(v string) error {
+		rs, err := parseRefFlag(v)
+		if err != nil {
+			return err
+		}
+		o.refs = append(o.refs, rs)
+		return nil
+	})
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o, os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "genasm-serve:", err)
+		os.Exit(1)
+	}
+}

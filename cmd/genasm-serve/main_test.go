@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"genasm"
+	"genasm/internal/genome"
+)
+
+func TestParseRefFlag(t *testing.T) {
+	cases := []struct {
+		in         string
+		name, path string
+		wantErr    bool
+	}{
+		{"chr1=ref.fa", "chr1", "ref.fa", false},
+		{"g=/data/a=b.fa", "g", "/data/a=b.fa", false}, // first '=' splits
+		{"ref.fa", "", "", true},
+		{"=ref.fa", "", "", true},
+		{"chr1=", "", "", true},
+		{"", "", "", true},
+	}
+	for _, tc := range cases {
+		rs, err := parseRefFlag(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Fatalf("%q: no error", tc.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if rs.name != tc.name || rs.path != tc.path {
+			t.Fatalf("%q: got %+v", tc.in, rs)
+		}
+	}
+}
+
+func TestEngineOptionsValidation(t *testing.T) {
+	o := defaultOptions()
+	if _, err := o.engineOptions(); err != nil {
+		t.Fatalf("default options rejected: %v", err)
+	}
+	o.backend = "tpu"
+	if _, err := o.engineOptions(); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	o = defaultOptions()
+	o.algo = "bwa"
+	if _, err := buildServer(o); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestBuildServerPreloadsRefs(t *testing.T) {
+	dir := t.TempDir()
+	refPath := writeRefFASTA(t, dir, 32)
+	o := defaultOptions()
+	o.refs = []refSpec{{name: "chr1", path: refPath}}
+	srv, err := buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Registry().Len() != 1 {
+		t.Fatalf("refs = %d, want 1", srv.Registry().Len())
+	}
+	o.refs = []refSpec{{name: "x", path: filepath.Join(dir, "missing.fa")}}
+	if _, err := buildServer(o); err == nil {
+		t.Fatal("missing reference file accepted")
+	}
+}
+
+// TestRunServesAndShutsDown is the binary's end-to-end smoke test: boot
+// on an ephemeral port with a preloaded reference, serve real requests,
+// then shut down gracefully on context cancellation.
+func TestRunServesAndShutsDown(t *testing.T) {
+	dir := t.TempDir()
+	refPath := writeRefFASTA(t, dir, 33)
+	o := defaultOptions()
+	o.addr = "127.0.0.1:0"
+	o.batchDelay = time.Millisecond
+	o.refs = []refSpec{{name: "chr1", path: refPath}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	var logs bytes.Buffer
+	go func() {
+		done <- run(ctx, o, &logs, func(addr string) { addrc <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("run exited early: %v (log %s)", err, logs.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Refs   int    `json:"refs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.Refs != 1 {
+		t.Fatalf("health %+v", health)
+	}
+
+	g := genasm.GenerateGenome(5_000, 34)
+	body := fmt.Sprintf(`{"pairs":[{"query":%q,"ref":%q}]}`, g[100:300], g[100:340])
+	resp, err = http.Post(base+"/align", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), `"cigar"`) {
+		t.Fatalf("align: %d %s", resp.StatusCode, data)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if !strings.Contains(logs.String(), "shut down") {
+		t.Fatalf("log %q lacks shutdown line", logs.String())
+	}
+}
+
+func writeRefFASTA(t *testing.T, dir string, seed int64) string {
+	t.Helper()
+	cfg := genome.DefaultConfig(60_000)
+	cfg.Seed = seed
+	rec := genome.Generate(cfg)
+	path := filepath.Join(dir, "ref.fa")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := genome.WriteFASTA(f, []genome.Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}

@@ -12,10 +12,11 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
 
 	"genasm"
+	"genasm/internal/cliutil"
 	"genasm/internal/genome"
 	"genasm/internal/readsim"
 )
@@ -31,43 +32,36 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	die(cliutil.WriteAtomic(*outPath, func(out io.Writer) error {
+		return run(*refPath, *readsPath, out, os.Stderr)
+	}))
+}
 
-	rf, err := os.Open(*refPath)
-	die(err)
+// run executes the candidate-generation pipeline; factored out of main so
+// the whole CLI path is testable.
+func run(refPath, readsPath string, out, summary io.Writer) error {
+	rf, err := os.Open(refPath)
+	if err != nil {
+		return err
+	}
 	refs, err := genome.ReadFASTA(rf)
 	rf.Close()
-	die(err)
+	if err != nil {
+		return err
+	}
 	if len(refs) == 0 {
-		die(fmt.Errorf("no sequences in %s", *refPath))
+		return fmt.Errorf("no sequences in %s", refPath)
+	}
+	reads, err := readsim.LoadReadsFile(readsPath)
+	if err != nil {
+		return err
 	}
 
-	var reads []readsim.Read
-	f, err := os.Open(*readsPath)
-	die(err)
-	if strings.HasSuffix(*readsPath, ".fq") || strings.HasSuffix(*readsPath, ".fastq") {
-		reads, err = readsim.ReadFASTQ(f)
-	} else {
-		var recs []genome.Record
-		recs, err = genome.ReadFASTA(f)
-		for _, r := range recs {
-			reads = append(reads, readsim.Read{Name: r.Name, Seq: r.Seq})
-		}
-	}
-	f.Close()
-	die(err)
-
-	out := os.Stdout
-	if *outPath != "-" {
-		of, err := os.Create(*outPath)
-		die(err)
-		defer of.Close()
-		out = of
-	}
 	w := bufio.NewWriter(out)
-	defer w.Flush()
-
 	mapper, err := genasm.NewMapper(refs[0].Seq)
-	die(err)
+	if err != nil {
+		return err
+	}
 	total := 0
 	for _, rd := range reads {
 		for _, c := range mapper.Candidates(rd.Seq) {
@@ -79,7 +73,11 @@ func main() {
 			total++
 		}
 	}
-	fmt.Fprintf(os.Stderr, "mapgen: %d candidate locations for %d reads\n", total, len(reads))
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(summary, "mapgen: %d candidate locations for %d reads\n", total, len(reads))
+	return nil
 }
 
 func die(err error) {

@@ -7,75 +7,110 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"genasm/internal/cliutil"
 	"genasm/internal/genome"
 	"genasm/internal/readsim"
 )
 
+// options collects every flag so the whole CLI path is testable.
+type options struct {
+	refPath   string
+	genomeLen int
+	n         int
+	meanLen   int
+	errRate   float64
+	profile   string
+	seed      int64
+	refOut    string
+}
+
+func defaultOptions() options {
+	return options{
+		genomeLen: 1_000_000,
+		n:         500,
+		meanLen:   10_000,
+		errRate:   0.10,
+		profile:   "pacbio",
+		seed:      1,
+	}
+}
+
 func main() {
-	var (
-		refPath   = flag.String("ref", "", "reference FASTA (omit to generate a synthetic genome)")
-		genomeLen = flag.Int("genome", 1_000_000, "synthetic genome length when -ref is omitted")
-		n         = flag.Int("n", 500, "number of reads")
-		meanLen   = flag.Int("len", 10_000, "mean read length")
-		errRate   = flag.Float64("error", 0.10, "mean error rate")
-		profile   = flag.String("profile", "pacbio", "error profile: pacbio | illumina")
-		seed      = flag.Int64("seed", 1, "random seed")
-		outPath   = flag.String("out", "-", "output FASTQ (- = stdout)")
-		refOut    = flag.String("ref-out", "", "also write the (possibly generated) reference FASTA here")
-	)
+	o := defaultOptions()
+	outPath := flag.String("out", "-", "output FASTQ (- = stdout)")
+	flag.StringVar(&o.refPath, "ref", "", "reference FASTA (omit to generate a synthetic genome)")
+	flag.IntVar(&o.genomeLen, "genome", o.genomeLen, "synthetic genome length when -ref is omitted")
+	flag.IntVar(&o.n, "n", o.n, "number of reads")
+	flag.IntVar(&o.meanLen, "len", o.meanLen, "mean read length")
+	flag.Float64Var(&o.errRate, "error", o.errRate, "mean error rate")
+	flag.StringVar(&o.profile, "profile", o.profile, "error profile: pacbio | illumina")
+	flag.Int64Var(&o.seed, "seed", o.seed, "random seed")
+	flag.StringVar(&o.refOut, "ref-out", "", "also write the (possibly generated) reference FASTA here")
 	flag.Parse()
 
+	die(cliutil.WriteAtomic(*outPath, func(out io.Writer) error {
+		return run(o, out)
+	}))
+}
+
+// run executes the simulation pipeline; factored out of main so the whole
+// CLI path is testable.
+func run(o options, out io.Writer) error {
 	var ref genome.Record
-	if *refPath != "" {
-		f, err := os.Open(*refPath)
-		die(err)
+	if o.refPath != "" {
+		f, err := os.Open(o.refPath)
+		if err != nil {
+			return err
+		}
 		recs, err := genome.ReadFASTA(f)
 		f.Close()
-		die(err)
+		if err != nil {
+			return err
+		}
 		if len(recs) == 0 {
-			die(fmt.Errorf("no sequences in %s", *refPath))
+			return fmt.Errorf("no sequences in %s", o.refPath)
 		}
 		ref = recs[0]
 	} else {
-		cfg := genome.DefaultConfig(*genomeLen)
-		cfg.Seed = *seed
+		cfg := genome.DefaultConfig(o.genomeLen)
+		cfg.Seed = o.seed
 		ref = genome.Generate(cfg)
 	}
-	if *refOut != "" {
-		f, err := os.Create(*refOut)
-		die(err)
-		die(genome.WriteFASTA(f, []genome.Record{ref}))
-		die(f.Close())
+	if o.refOut != "" {
+		f, err := os.Create(o.refOut)
+		if err != nil {
+			return err
+		}
+		if err := genome.WriteFASTA(f, []genome.Record{ref}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 
 	var prof readsim.Profile
-	switch *profile {
+	switch o.profile {
 	case "pacbio":
 		prof = readsim.PacBioCLR()
+		prof.LengthSD = o.meanLen / 10
 	case "illumina":
 		prof = readsim.Illumina()
 	default:
-		die(fmt.Errorf("unknown profile %q", *profile))
+		return fmt.Errorf("unknown profile %q", o.profile)
 	}
-	prof.MeanLength = *meanLen
-	if *profile == "pacbio" {
-		prof.LengthSD = *meanLen / 10
-	}
-	prof.ErrorRate = *errRate
+	prof.MeanLength = o.meanLen
+	prof.ErrorRate = o.errRate
 
-	reads, err := readsim.Simulate(ref.Seq, *n, prof, *seed)
-	die(err)
-
-	out := os.Stdout
-	if *outPath != "-" {
-		f, err := os.Create(*outPath)
-		die(err)
-		defer f.Close()
-		out = f
+	reads, err := readsim.Simulate(ref.Seq, o.n, prof, o.seed)
+	if err != nil {
+		return err
 	}
-	die(readsim.WriteFASTQ(out, reads))
+	return readsim.WriteFASTQ(out, reads)
 }
 
 func die(err error) {

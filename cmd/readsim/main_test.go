@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genasm/internal/genome"
+	"genasm/internal/readsim"
+)
+
+// simulate runs the CLI path with small, fast parameters.
+func simulate(t *testing.T, mutate func(*options)) ([]readsim.Read, string) {
+	t.Helper()
+	o := defaultOptions()
+	o.genomeLen = 60_000
+	o.n = 12
+	o.meanLen = 1000
+	mutate(&o)
+	var out bytes.Buffer
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	reads, err := readsim.ReadFASTQ(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("output is not parseable FASTQ: %v", err)
+	}
+	return reads, out.String()
+}
+
+// TestRunSyntheticGenomeGolden: without -ref a genome is generated and
+// the FASTQ output round-trips with ground-truth names.
+func TestRunSyntheticGenomeGolden(t *testing.T) {
+	reads, raw := simulate(t, func(o *options) {})
+	if len(reads) != 12 {
+		t.Fatalf("%d reads, want 12", len(reads))
+	}
+	for _, r := range reads {
+		if !strings.HasPrefix(r.Name, "read_") {
+			t.Fatalf("read name %q lacks ground-truth prefix", r.Name)
+		}
+		if len(r.Seq) == 0 || len(r.Seq) != len(r.Qual) {
+			t.Fatalf("read %s: seq %d qual %d", r.Name, len(r.Seq), len(r.Qual))
+		}
+	}
+	// Deterministic for a fixed seed.
+	_, raw2 := simulate(t, func(o *options) {})
+	if raw != raw2 {
+		t.Fatal("same seed produced different output")
+	}
+	// Different seed, different output.
+	_, raw3 := simulate(t, func(o *options) { o.seed = 99 })
+	if raw == raw3 {
+		t.Fatal("different seed produced identical output")
+	}
+}
+
+func TestRunIlluminaProfile(t *testing.T) {
+	reads, _ := simulate(t, func(o *options) {
+		o.profile = "illumina"
+		o.meanLen = 150
+		o.errRate = 0.02
+	})
+	for _, r := range reads {
+		if len(r.Seq) > 400 {
+			t.Fatalf("illumina read of %d bp", len(r.Seq))
+		}
+	}
+}
+
+func TestRunFromReferenceAndRefOut(t *testing.T) {
+	dir := t.TempDir()
+	cfg := genome.DefaultConfig(50_000)
+	cfg.Seed = 7
+	rec := genome.Generate(cfg)
+	refPath := filepath.Join(dir, "ref.fa")
+	f, err := os.Create(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := genome.WriteFASTA(f, []genome.Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	refOut := filepath.Join(dir, "echo.fa")
+	reads, _ := simulate(t, func(o *options) {
+		o.refPath = refPath
+		o.refOut = refOut
+	})
+	if len(reads) != 12 {
+		t.Fatalf("%d reads", len(reads))
+	}
+	ef, err := os.Open(refOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ef.Close()
+	echoed, err := genome.ReadFASTA(ef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(echoed) != 1 || !bytes.Equal(echoed[0].Seq, rec.Seq) {
+		t.Fatal("-ref-out did not echo the reference")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	o := defaultOptions()
+	o.genomeLen = 10_000
+	o.n = 2
+	o.meanLen = 500
+	o.profile = "nanopore"
+	if err := run(o, &out); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	o = defaultOptions()
+	o.refPath = filepath.Join(t.TempDir(), "missing.fa")
+	if err := run(o, &out); err == nil {
+		t.Fatal("missing reference accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.fa")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o.refPath = empty
+	if err := run(o, &out); err == nil {
+		t.Fatal("empty reference accepted")
+	}
+}

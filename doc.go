@@ -60,6 +60,17 @@
 // The pre-Engine entry points (New/Align, AlignBatch, AlignBatchGPU)
 // remain as thin deprecated shims that delegate to an Engine.
 //
+// # Serving
+//
+// The server subpackage (genasm/server, binary cmd/genasm-serve) exposes
+// an Engine as a batching HTTP JSON service: a dynamic batch scheduler
+// coalesces many small concurrent requests into backend-sized
+// AlignBatch calls under a max-latency deadline (bounded queue, 429
+// backpressure), a registry indexes named references once into shared
+// Mappers, an LRU cache keyed on Engine.Fingerprint short-circuits
+// repeated alignments, and /metrics + /healthz report queue depth,
+// batch-size histogram, latency percentiles and cache hit rates.
+//
 // See examples/ for complete programs and DESIGN.md / EXPERIMENTS.md for
 // the paper-reproduction methodology.
 package genasm

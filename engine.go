@@ -178,6 +178,26 @@ func (e *Engine) Config() Config { return e.cfg }
 // Backend reports which backend the engine runs on.
 func (e *Engine) Backend() BackendKind { return e.kind }
 
+// MaxQueryLen reports the engine's query-length guardrail (0 = unlimited).
+// Batch admission layers use it to reject an over-long query up front
+// rather than let it fail a whole all-or-nothing batch.
+func (e *Engine) MaxQueryLen() int { return e.maxQueryLen }
+
+// Fingerprint returns a deterministic string identifying every parameter
+// that affects this engine's Results: algorithm, window geometry, ablation
+// toggles, scoring, band width, backend and candidate policy. Two engines
+// with equal fingerprints produce bit-identical Results for the same
+// input, so the fingerprint is a safe result-cache key component (the
+// serving layer relies on this).
+func (e *Engine) Fingerprint() string {
+	c := e.cfg
+	return fmt.Sprintf("algo=%s;w=%d;o=%d;k=%d;abl=%t%t%t;sc=%d/%d/%d/%d;band=%d;be=%s;all=%t;maxq=%d",
+		c.Algorithm, c.WindowSize, c.Overlap, c.ErrorK,
+		c.DisableSENE, c.DisableDENT, c.DisableET,
+		c.MatchScore, c.MismatchPenalty, c.GapOpen, c.GapExtend,
+		c.BandWidth, e.kind, e.allCands, e.maxQueryLen)
+}
+
 // GPUStats returns the simulated-device stats of the most recent launch.
 // The second return is false on the CPU backend or before any launch.
 func (e *Engine) GPUStats() (GPUStats, bool) { return e.be.gpuStats() }

@@ -342,6 +342,184 @@ func TestDeprecatedShimsMatchEngine(t *testing.T) {
 	}
 }
 
+// TestMapAlignManyTinyReads is the server-shaped load test: hundreds of
+// short reads streaming through MapAlign must all come back, in order,
+// with plausible results — the traffic profile the serving layer feeds
+// the engine.
+func TestMapAlignManyTinyReads(t *testing.T) {
+	ref := GenerateGenome(200_000, 31)
+	sim, err := SimulateShortReads(ref, 300, 150, 0.02, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := NewMapper(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(WithMapper(mapper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]Read, len(sim))
+	for i, r := range sim {
+		in[i] = Read{Name: r.Name, Seq: r.Seq}
+	}
+	out, err := eng.MapAlign(context.Background(), StreamReads(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted, mapped, last := 0, 0, -1
+	for m := range out {
+		if m.ReadIndex < last {
+			t.Fatalf("emission out of order: %d after %d", m.ReadIndex, last)
+		}
+		last = m.ReadIndex
+		emitted++
+		if m.Err != nil {
+			t.Fatalf("read %d: %v", m.ReadIndex, m.Err)
+		}
+		if m.Unmapped {
+			continue
+		}
+		mapped++
+		if m.Result.Distance > len(m.Read.Seq)/2 {
+			t.Fatalf("read %d: implausible distance %d for %d bp", m.ReadIndex, m.Result.Distance, len(m.Read.Seq))
+		}
+	}
+	if emitted != len(in) {
+		t.Fatalf("emitted %d of %d reads", emitted, len(in))
+	}
+	if mapped < len(in)*8/10 {
+		t.Fatalf("only %d/%d tiny reads mapped", mapped, len(in))
+	}
+}
+
+// TestMapAlignMixedReferences runs MapAlign pipelines over two different
+// references concurrently — the serving layer's multi-genome registry
+// shape — and checks each stream resolves its reads against its own
+// reference.
+func TestMapAlignMixedReferences(t *testing.T) {
+	type world struct {
+		eng *Engine
+		in  []Read
+	}
+	build := func(seed int64) world {
+		ref := GenerateGenome(120_000, seed)
+		sim, err := SimulateLongReads(ref, 20, 1200, 0.08, seed+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapper, err := NewMapper(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(WithMapper(mapper))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := make([]Read, len(sim))
+		for i, r := range sim {
+			in[i] = Read{Name: r.Name, Seq: r.Seq}
+		}
+		return world{eng: eng, in: in}
+	}
+	worlds := []world{build(41), build(47)}
+
+	type outcome struct {
+		mapped int
+		err    error
+	}
+	results := make([]outcome, len(worlds))
+	done := make(chan struct{})
+	for i, w := range worlds {
+		go func(i int, w world) {
+			defer func() { done <- struct{}{} }()
+			out, err := w.eng.MapAlign(context.Background(), StreamReads(w.in))
+			if err != nil {
+				results[i].err = err
+				return
+			}
+			for m := range out {
+				if m.Err != nil {
+					results[i].err = m.Err
+					return
+				}
+				if !m.Unmapped {
+					results[i].mapped++
+				}
+			}
+		}(i, w)
+	}
+	<-done
+	<-done
+	close(done)
+	for i, r := range results {
+		if r.err != nil {
+			t.Fatalf("world %d: %v", i, r.err)
+		}
+		if r.mapped < len(worlds[i].in)-3 {
+			t.Fatalf("world %d: only %d/%d reads mapped", i, r.mapped, len(worlds[i].in))
+		}
+	}
+}
+
+// TestMapAlignMidStreamCancellation cancels after consuming a few
+// emissions: the stream must close promptly without emitting the whole
+// input, and without goroutine leaks (exercised under -race in CI).
+func TestMapAlignMidStreamCancellation(t *testing.T) {
+	ref := GenerateGenome(200_000, 51)
+	sim, err := SimulateShortReads(ref, 400, 150, 0.02, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := NewMapper(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(WithMapper(mapper), WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]Read, len(sim))
+	for i, r := range sim {
+		in[i] = Read{Name: r.Name, Seq: r.Seq}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out, err := eng.MapAlign(ctx, StreamReads(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumed := 0
+	for range out {
+		consumed++
+		if consumed == 10 {
+			cancel()
+			break
+		}
+	}
+	// The channel must close; count what trickles out after the cancel.
+	deadline := time.After(10 * time.Second)
+	trailing := 0
+	for {
+		select {
+		case _, ok := <-out:
+			if !ok {
+				if trailing+consumed >= len(in) {
+					t.Fatalf("cancellation did not truncate the stream (%d emissions)", trailing+consumed)
+				}
+				if ctx.Err() == nil {
+					t.Fatal("context not cancelled")
+				}
+				return
+			}
+			trailing++
+		case <-deadline:
+			t.Fatal("stream did not close after mid-stream cancellation")
+		}
+	}
+}
+
 func TestStreamReads(t *testing.T) {
 	in := []Read{{Name: "a"}, {Name: "b"}}
 	ch := StreamReads(in)

@@ -1,0 +1,39 @@
+// Package cliutil holds small helpers shared by the cmd/ binaries.
+package cliutil
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteAtomic runs fn against path's writer. For path "-" fn writes
+// straight to stdout. Otherwise fn writes to a temp file in path's
+// directory that is renamed into place only after fn and the file close
+// both succeed, so a failing run never leaves an empty or truncated
+// output behind (and never clobbers a good file from a previous run).
+func WriteAtomic(path string, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(os.Stdout)
+	}
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if f != nil {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}()
+	if err := fn(f); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	name := f.Name()
+	f = nil // close/remove already handled; skip the deferred cleanup
+	return os.Rename(name, path)
+}

@@ -1,0 +1,68 @@
+package cliutil
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteAtomicSuccess(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	err := WriteAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("content %q", data)
+	}
+}
+
+func TestWriteAtomicFailureLeavesNoFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	boom := errors.New("boom")
+	err := WriteAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed run left %s behind", path)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}
+
+func TestWriteAtomicFailurePreservesOldFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := os.WriteFile(path, []byte("good"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteAtomic(path, func(w io.Writer) error { return errors.New("boom") })
+	if err == nil {
+		t.Fatal("want error")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "good" {
+		t.Fatalf("previous output clobbered: %q", data)
+	}
+}

@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"strings"
 
 	"genasm/internal/dna"
+	"genasm/internal/genome"
 )
 
 // Profile is an error-model preset.
@@ -271,4 +273,28 @@ func nextLine(sc *bufio.Scanner) (string, bool, error) {
 		}
 	}
 	return "", false, sc.Err()
+}
+
+// LoadReadsFile reads a FASTA or FASTQ reads file, sniffing the format
+// from the path suffix (.fq / .fastq = FASTQ, anything else = FASTA).
+// It is the one read-loading path shared by the CLIs, so format handling
+// cannot drift between them.
+func LoadReadsFile(path string) ([]Read, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".fq") || strings.HasSuffix(path, ".fastq") {
+		return ReadFASTQ(f)
+	}
+	recs, err := genome.ReadFASTA(f)
+	if err != nil {
+		return nil, err
+	}
+	reads := make([]Read, len(recs))
+	for i, r := range recs {
+		reads[i] = Read{Name: r.Name, Seq: r.Seq}
+	}
+	return reads, nil
 }

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"genasm"
+)
+
+func res(d int) genasm.Result { return genasm.Result{Distance: d, Cigar: "1="} }
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", res(1))
+	c.Put("b", res(2))
+	if _, ok := c.Get("a"); !ok { // promotes a over b
+		t.Fatal("a missing")
+	}
+	c.Put("c", res(3)) // evicts b, the least recently used
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	for key, want := range map[string]int{"a": 1, "c": 3} {
+		got, ok := c.Get(key)
+		if !ok || got.Distance != want {
+			t.Fatalf("%s: got %+v ok=%v", key, got, ok)
+		}
+	}
+	if c.Len() != 2 || c.Cap() != 2 {
+		t.Fatalf("len=%d cap=%d", c.Len(), c.Cap())
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", res(1))
+	c.Put("a", res(9))
+	got, ok := c.Get("a")
+	if !ok || got.Distance != 9 {
+		t.Fatalf("got %+v ok=%v", got, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0) // nil no-op cache
+	if c != nil {
+		t.Fatal("capacity 0 should disable the cache")
+	}
+	c.Put("a", res(1)) // must not panic
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Len() != 0 || c.Cap() != 0 {
+		t.Fatal("disabled cache reports non-zero size")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*200+i)%100)
+				c.Put(key, res(i))
+				c.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("len %d exceeds capacity", c.Len())
+	}
+}
+
+// TestResultKeyStructural: the digest must separate fingerprint, ref and
+// query structurally, not just concatenate them.
+func TestResultKeyStructural(t *testing.T) {
+	base := resultKey("fp", []byte("AB"), []byte("C"))
+	cases := map[string]string{
+		"boundary shift":        resultKey("fp", []byte("A"), []byte("BC")),
+		"field shift":           resultKey("fpA", []byte("B"), []byte("C")),
+		"different fingerprint": resultKey("fp2", []byte("AB"), []byte("C")),
+		"different ref":         resultKey("fp", []byte("AC"), []byte("C")),
+		"different query":       resultKey("fp", []byte("AB"), []byte("G")),
+	}
+	for name, key := range cases {
+		if key == base {
+			t.Fatalf("%s collides with base key", name)
+		}
+	}
+	if resultKey("fp", []byte("AB"), []byte("C")) != base {
+		t.Fatal("resultKey is not deterministic")
+	}
+}

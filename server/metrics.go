@@ -1,0 +1,136 @@
+package server
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// batchBuckets are the upper bounds of the batch-size histogram buckets
+// (cumulative, Prometheus-style; the implicit last bucket is +Inf).
+var batchBuckets = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// latencyWindow is how many recent request latencies the percentile
+// estimator keeps (a sliding window, overwritten in arrival order).
+const latencyWindow = 2048
+
+// Metrics aggregates the server's operational counters. All methods are
+// safe for concurrent use; Snapshot serializes the current state for the
+// /metrics endpoint (expvar-style: flat JSON, monotonic counters plus a
+// few gauges).
+type Metrics struct {
+	start   time.Time
+	backend string
+
+	requests     atomic.Int64 // HTTP requests accepted (any endpoint)
+	requestErrs  atomic.Int64 // HTTP requests answered with a 4xx/5xx
+	pairsIn      atomic.Int64 // alignment pairs admitted to the scheduler
+	pairsDone    atomic.Int64 // alignment pairs completed by a backend batch
+	rejected     atomic.Int64 // submissions refused by admission control (429)
+	batches      atomic.Int64 // backend batches executed
+	batchPairs   atomic.Int64 // total pairs across executed batches
+	batchErrs    atomic.Int64 // backend batches that failed
+	queueDepth   atomic.Int64 // pairs queued or in flight right now
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	refsLoaded   atomic.Int64 // references currently registered
+	readsMapped  atomic.Int64 // map-align reads with >= 1 candidate location
+	readsNoCands atomic.Int64 // map-align reads with no candidate location
+
+	histMu sync.Mutex
+	hist   [10]int64 // batchBuckets + +Inf
+
+	latMu  sync.Mutex
+	lat    [latencyWindow]float64 // milliseconds
+	latN   int                    // total observations
+	latLen int                    // filled entries
+}
+
+// NewMetrics returns a Metrics clock-started now, labeled with the
+// engine's backend kind.
+func NewMetrics(backend string) *Metrics {
+	return &Metrics{start: time.Now(), backend: backend}
+}
+
+func (m *Metrics) observeBatch(pairs int) {
+	m.batches.Add(1)
+	m.batchPairs.Add(int64(pairs))
+	i := sort.SearchInts(batchBuckets, pairs)
+	m.histMu.Lock()
+	m.hist[i]++
+	m.histMu.Unlock()
+}
+
+func (m *Metrics) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.latMu.Lock()
+	m.lat[m.latN%latencyWindow] = ms
+	m.latN++
+	if m.latLen < latencyWindow {
+		m.latLen++
+	}
+	m.latMu.Unlock()
+}
+
+// percentiles returns the p50/p90/p99 of the latency window, in ms.
+func (m *Metrics) percentiles() (p50, p90, p99 float64) {
+	m.latMu.Lock()
+	n := m.latLen
+	window := make([]float64, n)
+	copy(window, m.lat[:n])
+	m.latMu.Unlock()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(window)
+	at := func(p float64) float64 {
+		i := int(p * float64(n-1))
+		return window[i]
+	}
+	return at(0.50), at(0.90), at(0.99)
+}
+
+// Snapshot returns the current metrics as a JSON-encodable map.
+func (m *Metrics) Snapshot() map[string]any {
+	m.histMu.Lock()
+	hist := make(map[string]int64, len(m.hist))
+	var cum int64
+	for i, upper := range batchBuckets {
+		cum += m.hist[i]
+		hist[strconv.Itoa(upper)] = cum
+	}
+	cum += m.hist[len(batchBuckets)]
+	hist["+Inf"] = cum
+	m.histMu.Unlock()
+
+	p50, p90, p99 := m.percentiles()
+	batches := m.batches.Load()
+	meanBatch := 0.0
+	if batches > 0 {
+		meanBatch = float64(m.batchPairs.Load()) / float64(batches)
+	}
+	return map[string]any{
+		"backend":              m.backend,
+		"uptime_seconds":       time.Since(m.start).Seconds(),
+		"requests_total":       m.requests.Load(),
+		"request_errors_total": m.requestErrs.Load(),
+		"pairs_enqueued_total": m.pairsIn.Load(),
+		"pairs_done_total":     m.pairsDone.Load(),
+		"rejected_total":       m.rejected.Load(),
+		"queue_depth":          m.queueDepth.Load(),
+		"batches_total":        batches,
+		"batch_errors_total":   m.batchErrs.Load(),
+		"batch_size_mean":      meanBatch,
+		"batch_size_hist":      hist,
+		"latency_ms_p50":       p50,
+		"latency_ms_p90":       p90,
+		"latency_ms_p99":       p99,
+		"cache_hits_total":     m.cacheHits.Load(),
+		"cache_misses_total":   m.cacheMisses.Load(),
+		"refs_loaded":          m.refsLoaded.Load(),
+		"reads_mapped_total":   m.readsMapped.Load(),
+		"reads_unmapped_total": m.readsNoCands.Load(),
+	}
+}

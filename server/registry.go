@@ -1,0 +1,139 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"genasm"
+)
+
+// ErrDuplicateRef reports an Add under an already-registered name (the
+// HTTP layer maps it to 409 Conflict).
+var ErrDuplicateRef = errors.New("server: reference already registered")
+
+// Reference is one registered genome: indexed once at upload, then shared
+// read-only by every request that names it.
+type Reference struct {
+	Name    string    `json:"name"`
+	Length  int       `json:"length"`
+	SHA256  string    `json:"sha256"`
+	AddedAt time.Time `json:"added_at"`
+
+	mapper *genasm.Mapper
+}
+
+// Mapper returns the shared minimizer index for this reference. The
+// mapper is read-only and safe for any number of goroutines.
+func (r *Reference) Mapper() *genasm.Mapper { return r.mapper }
+
+// Registry holds named references. Indexing happens once per Add (the
+// expensive part, outside the lock); lookups are cheap and concurrent.
+type Registry struct {
+	mu      sync.RWMutex
+	refs    map[string]*Reference
+	metrics *Metrics
+}
+
+// NewRegistry returns an empty registry. Metrics may be nil.
+func NewRegistry(m *Metrics) *Registry {
+	return &Registry{refs: make(map[string]*Reference), metrics: m}
+}
+
+// validRefName keeps names usable as URL path elements and cache-key
+// components.
+func validRefName(name string) error {
+	if name == "" || len(name) > 128 {
+		return fmt.Errorf("server: reference name must be 1-128 characters")
+	}
+	if strings.ContainsAny(name, "/ \t\n") {
+		return fmt.Errorf("server: reference name %q contains slash or whitespace", name)
+	}
+	return nil
+}
+
+// Add indexes seq and registers it under name. It fails on an invalid
+// name, a duplicate, or an unindexable sequence. The (slow) index build
+// runs outside the registry lock, so concurrent Adds of different
+// references proceed in parallel; two racing Adds of the same name
+// resolve to one winner and one duplicate error.
+func (g *Registry) Add(name string, seq []byte) (*Reference, error) {
+	if err := validRefName(name); err != nil {
+		return nil, err
+	}
+	g.mu.RLock()
+	_, dup := g.refs[name]
+	g.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateRef, name)
+	}
+	mapper, err := genasm.NewMapper(seq)
+	if err != nil {
+		return nil, fmt.Errorf("server: indexing reference %q: %w", name, err)
+	}
+	sum := sha256.Sum256(seq)
+	ref := &Reference{
+		Name:    name,
+		Length:  len(seq),
+		SHA256:  hex.EncodeToString(sum[:]),
+		AddedAt: time.Now(),
+		mapper:  mapper,
+	}
+	g.mu.Lock()
+	if _, dup := g.refs[name]; dup {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateRef, name)
+	}
+	g.refs[name] = ref
+	// Publish the gauge under the lock so concurrent mutations can't
+	// store counts out of order.
+	if g.metrics != nil {
+		g.metrics.refsLoaded.Store(int64(len(g.refs)))
+	}
+	g.mu.Unlock()
+	return ref, nil
+}
+
+// Get returns the reference registered under name.
+func (g *Registry) Get(name string) (*Reference, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ref, ok := g.refs[name]
+	return ref, ok
+}
+
+// Remove drops a reference; it reports whether name was registered.
+func (g *Registry) Remove(name string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.refs[name]
+	delete(g.refs, name)
+	if ok && g.metrics != nil {
+		g.metrics.refsLoaded.Store(int64(len(g.refs)))
+	}
+	return ok
+}
+
+// List returns every registered reference, sorted by name.
+func (g *Registry) List() []*Reference {
+	g.mu.RLock()
+	out := make([]*Reference, 0, len(g.refs))
+	for _, r := range g.refs {
+		out = append(out, r)
+	}
+	g.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len reports how many references are registered.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.refs)
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"genasm"
+)
+
+func TestRegistryAddGetRemoveList(t *testing.T) {
+	m := NewMetrics("cpu")
+	g := NewRegistry(m)
+	seq := genasm.GenerateGenome(60_000, 1)
+
+	ref, err := g.Add("chr1", seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Name != "chr1" || ref.Length != len(seq) || len(ref.SHA256) != 64 {
+		t.Fatalf("ref %+v", ref)
+	}
+	if ref.Mapper() == nil {
+		t.Fatal("no mapper")
+	}
+	if _, err := g.Add("chr1", seq); err == nil {
+		t.Fatal("duplicate Add accepted")
+	}
+	if _, err := g.Add("chr2", genasm.GenerateGenome(60_000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := g.Get("chr1")
+	if !ok || got != ref {
+		t.Fatal("Get did not return the registered reference")
+	}
+	list := g.List()
+	if len(list) != 2 || list[0].Name != "chr1" || list[1].Name != "chr2" {
+		t.Fatalf("list %v", list)
+	}
+	if m.refsLoaded.Load() != 2 {
+		t.Fatalf("refs_loaded = %d", m.refsLoaded.Load())
+	}
+	if !g.Remove("chr1") {
+		t.Fatal("Remove failed")
+	}
+	if g.Remove("chr1") {
+		t.Fatal("second Remove succeeded")
+	}
+	if _, ok := g.Get("chr1"); ok {
+		t.Fatal("removed reference still resolvable")
+	}
+	if g.Len() != 1 || m.refsLoaded.Load() != 1 {
+		t.Fatalf("len=%d refs_loaded=%d", g.Len(), m.refsLoaded.Load())
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	g := NewRegistry(nil)
+	seq := genasm.GenerateGenome(60_000, 3)
+	for _, name := range []string{"", "a/b", "a b", "a\tb", strings.Repeat("x", 129)} {
+		if _, err := g.Add(name, seq); err == nil {
+			t.Fatalf("name %q accepted", name)
+		}
+	}
+}
+
+// TestRegistryConcurrent hammers Add/Get/List from many goroutines; run
+// with -race this is the registry's concurrency contract.
+func TestRegistryConcurrent(t *testing.T) {
+	g := NewRegistry(NewMetrics("cpu"))
+	seqs := make([][]byte, 4)
+	for i := range seqs {
+		seqs[i] = genasm.GenerateGenome(30_000, int64(i+10))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("g%d", w%4)
+			g.Add(name, seqs[w%4]) // half of these lose the duplicate race
+			if ref, ok := g.Get(name); ok {
+				ref.Mapper().Candidates(seqs[w%4][100:400])
+			}
+			g.List()
+			g.Len()
+		}(w)
+	}
+	wg.Wait()
+	if g.Len() != 4 {
+		t.Fatalf("len = %d, want 4", g.Len())
+	}
+	// Every winner must be fully formed.
+	for _, ref := range g.List() {
+		if ref.Mapper() == nil || ref.Length == 0 || ref.SHA256 == "" {
+			t.Fatalf("partially constructed reference %+v", ref)
+		}
+	}
+}

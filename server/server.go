@@ -1,0 +1,492 @@
+// Package server is the serving layer over genasm.Engine: a stdlib-only
+// HTTP JSON service that turns many small concurrent alignment requests
+// into the large backend batches the CPU/GPU backends are fast at (the
+// paper's throughput lever, applied to a production traffic shape).
+//
+// Core pieces:
+//
+//   - Scheduler: dynamic batcher coalescing concurrent /align and
+//     /map-align work into backend-sized Engine.AlignBatch calls under a
+//     max-latency deadline, with bounded-queue admission control (429 on
+//     overload).
+//   - Registry: named references, each indexed once at upload (POST
+//     /refs) into a shared read-only *genasm.Mapper.
+//   - Cache: an LRU of Results keyed on (engine fingerprint, reference,
+//     query) with hit/miss accounting.
+//   - Metrics: /metrics (expvar-style JSON counters: queue depth, batch
+//     size histogram, latency percentiles, cache hits, backend kind) and
+//     /healthz.
+//
+// See cmd/genasm-serve for the binary.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"genasm"
+)
+
+// Config configures a Server.
+type Config struct {
+	// EngineOptions build the shared alignment engine (backend,
+	// algorithm, window geometry, threads, ...). A mapper option is not
+	// needed: /map-align uses the registry's per-reference mappers.
+	EngineOptions []genasm.Option
+	// Scheduler tunes the dynamic batcher (zero values take defaults).
+	Scheduler SchedulerConfig
+	// CacheSize is the LRU result-cache capacity in entries (default
+	// 4096; negative disables caching).
+	CacheSize int
+	// MaxPairsPerRequest bounds one /align request (default 1024).
+	MaxPairsPerRequest int
+	// MaxReadsPerRequest bounds one /map-align request (default 1024).
+	MaxReadsPerRequest int
+	// MaxBodyBytes bounds any request body (default 256 MiB — a genome
+	// upload is the big one).
+	MaxBodyBytes int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.MaxPairsPerRequest <= 0 {
+		c.MaxPairsPerRequest = 1024
+	}
+	if c.MaxReadsPerRequest <= 0 {
+		c.MaxReadsPerRequest = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 256 << 20
+	}
+}
+
+// Server wires the scheduler, registry, cache and metrics behind an
+// http.Handler. Construct with New, serve Handler(), stop with Close.
+type Server struct {
+	cfg         Config
+	eng         *genasm.Engine
+	fingerprint string
+	sched       *Scheduler
+	registry    *Registry
+	cache       *Cache
+	metrics     *Metrics
+	mux         *http.ServeMux
+}
+
+// New validates cfg, builds the engine and assembles the service.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	eng, err := genasm.NewEngine(cfg.EngineOptions...)
+	if err != nil {
+		return nil, err
+	}
+	m := NewMetrics(eng.Backend().String())
+	s := &Server{
+		cfg:         cfg,
+		eng:         eng,
+		fingerprint: eng.Fingerprint(),
+		sched:       NewScheduler(eng, cfg.Scheduler, m),
+		registry:    NewRegistry(m),
+		cache:       NewCache(cfg.CacheSize),
+		metrics:     m,
+		mux:         http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /align", s.handleAlign)
+	s.mux.HandleFunc("POST /map-align", s.handleMapAlign)
+	s.mux.HandleFunc("POST /refs", s.handleRefAdd)
+	s.mux.HandleFunc("GET /refs", s.handleRefList)
+	s.mux.HandleFunc("GET /refs/{name}", s.handleRefGet)
+	s.mux.HandleFunc("DELETE /refs/{name}", s.handleRefDelete)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (request-counting wrapper
+// around the route mux).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests.Add(1)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(rec, r)
+		if rec.status >= 400 {
+			s.metrics.requestErrs.Add(1)
+		}
+	})
+}
+
+// Close drains the scheduler: in-flight and pending batches finish,
+// subsequent submissions fail. Call after the http.Server has shut down.
+func (s *Server) Close() { s.sched.Close() }
+
+// Engine returns the shared alignment engine.
+func (s *Server) Engine() *genasm.Engine { return s.eng }
+
+// Registry returns the reference registry (used by the binary to preload
+// genomes before serving).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Scheduler returns the dynamic batcher.
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Metrics returns the server's metrics sink.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// ---- wire types ----
+
+// AlignPair is one query/reference pair of an /align request.
+type AlignPair struct {
+	Query string `json:"query"`
+	Ref   string `json:"ref"`
+}
+
+// AlignRequest is the POST /align body.
+type AlignRequest struct {
+	Pairs []AlignPair `json:"pairs"`
+}
+
+// AlignResult is one alignment in a response.
+type AlignResult struct {
+	Distance    int    `json:"distance"`
+	Score       int    `json:"score"`
+	Cigar       string `json:"cigar"`
+	RefConsumed int    `json:"ref_consumed"`
+	Cached      bool   `json:"cached"`
+}
+
+// AlignResponse is the POST /align reply, index-aligned with the request
+// pairs.
+type AlignResponse struct {
+	Results []AlignResult `json:"results"`
+}
+
+// MapAlignRequest is the POST /map-align body: reads against one
+// registered reference.
+type MapAlignRequest struct {
+	Ref           string   `json:"ref"`
+	Reads         []ReadIn `json:"reads"`
+	AllCandidates bool     `json:"all_candidates"`
+}
+
+// ReadIn is one read of a /map-align request.
+type ReadIn struct {
+	Name string `json:"name"`
+	Seq  string `json:"seq"`
+}
+
+// MappedRead is the /map-align outcome for one read.
+type MappedRead struct {
+	Read       string         `json:"read"`
+	Unmapped   bool           `json:"unmapped,omitempty"`
+	Error      string         `json:"error,omitempty"`
+	Alignments []MapAlignment `json:"alignments,omitempty"`
+}
+
+// MapAlignment is one aligned candidate location.
+type MapAlignment struct {
+	Rank       int     `json:"rank"`
+	RefStart   int     `json:"ref_start"`
+	RefEnd     int     `json:"ref_end"`
+	RevComp    bool    `json:"rev_comp"`
+	ChainScore float64 `json:"chain_score"`
+	AlignResult
+}
+
+// MapAlignResponse is the POST /map-align reply, index-aligned with the
+// request reads.
+type MapAlignResponse struct {
+	Ref     string       `json:"ref"`
+	Results []MappedRead `json:"results"`
+}
+
+// RefAddRequest is the POST /refs body.
+type RefAddRequest struct {
+	Name     string `json:"name"`
+	Sequence string `json:"sequence"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	var req AlignRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Pairs) == 0 {
+		httpError(w, http.StatusBadRequest, "no pairs")
+		return
+	}
+	if len(req.Pairs) > s.cfg.MaxPairsPerRequest {
+		httpError(w, http.StatusBadRequest, "%d pairs exceeds per-request limit %d",
+			len(req.Pairs), s.cfg.MaxPairsPerRequest)
+		return
+	}
+	maxQ := s.eng.MaxQueryLen()
+	for i, p := range req.Pairs {
+		if p.Query == "" || p.Ref == "" {
+			httpError(w, http.StatusBadRequest, "pair %d: empty query or ref", i)
+			return
+		}
+		if maxQ > 0 && len(p.Query) > maxQ {
+			httpError(w, http.StatusBadRequest, "pair %d: query length %d exceeds limit %d",
+				i, len(p.Query), maxQ)
+			return
+		}
+	}
+
+	out := make([]AlignResult, len(req.Pairs))
+	keys := make([]string, len(req.Pairs))
+	var missPairs []genasm.Pair
+	var missIdx []int
+	caching := s.cache.Enabled()
+	for i, p := range req.Pairs {
+		q, ref := []byte(p.Query), []byte(p.Ref)
+		if caching {
+			keys[i] = resultKey(s.fingerprint, ref, q)
+			if res, ok := s.cache.Get(keys[i]); ok {
+				s.metrics.cacheHits.Add(1)
+				out[i] = toAlignResult(res, true)
+				continue
+			}
+			s.metrics.cacheMisses.Add(1)
+		}
+		missPairs = append(missPairs, genasm.Pair{Query: q, Ref: ref})
+		missIdx = append(missIdx, i)
+	}
+	if len(missPairs) > 0 {
+		results, err := s.sched.Submit(r.Context(), missPairs)
+		if err != nil {
+			writeSchedError(w, err)
+			return
+		}
+		for j, res := range results {
+			s.cache.Put(keys[missIdx[j]], res)
+			out[missIdx[j]] = toAlignResult(res, false)
+		}
+	}
+	writeJSON(w, http.StatusOK, AlignResponse{Results: out})
+}
+
+func (s *Server) handleMapAlign(w http.ResponseWriter, r *http.Request) {
+	var req MapAlignRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	ref, ok := s.registry.Get(req.Ref)
+	if !ok {
+		httpError(w, http.StatusNotFound, "reference %q not registered", req.Ref)
+		return
+	}
+	if len(req.Reads) == 0 {
+		httpError(w, http.StatusBadRequest, "no reads")
+		return
+	}
+	if len(req.Reads) > s.cfg.MaxReadsPerRequest {
+		httpError(w, http.StatusBadRequest, "%d reads exceeds per-request limit %d",
+			len(req.Reads), s.cfg.MaxReadsPerRequest)
+		return
+	}
+
+	maxQ := s.eng.MaxQueryLen()
+	results := make([]MappedRead, len(req.Reads))
+	// One flat miss list across every read of the request: candidates the
+	// cache can't answer travel to the scheduler as a single submission,
+	// where they coalesce further with other requests' work.
+	type slot struct{ read, aln int }
+	var missPairs []genasm.Pair
+	var missSlots []slot
+	var missKeys []string
+	caching := s.cache.Enabled()
+	for i, rd := range req.Reads {
+		results[i] = MappedRead{Read: rd.Name}
+		if rd.Seq == "" {
+			results[i].Error = "empty read sequence"
+			continue
+		}
+		if maxQ > 0 && len(rd.Seq) > maxQ {
+			results[i].Error = fmt.Sprintf("read length %d exceeds limit %d", len(rd.Seq), maxQ)
+			continue
+		}
+		seq := []byte(rd.Seq)
+		cands := ref.Mapper().Candidates(seq)
+		if len(cands) == 0 {
+			s.metrics.readsNoCands.Add(1)
+			results[i].Unmapped = true
+			continue
+		}
+		s.metrics.readsMapped.Add(1)
+		if !req.AllCandidates {
+			cands = cands[:1]
+		}
+		var rc []byte // lazily computed reverse complement
+		results[i].Alignments = make([]MapAlignment, len(cands))
+		for rank, c := range cands {
+			q := seq
+			if c.RevComp {
+				if rc == nil {
+					rc = genasm.ReverseComplement(seq)
+				}
+				q = rc
+			}
+			region := ref.Mapper().Region(c)
+			results[i].Alignments[rank] = MapAlignment{
+				Rank: rank, RefStart: c.Start, RefEnd: c.End,
+				RevComp: c.RevComp, ChainScore: c.Score,
+			}
+			var key string
+			if caching {
+				key = resultKey(s.fingerprint, region, q)
+				if res, ok := s.cache.Get(key); ok {
+					s.metrics.cacheHits.Add(1)
+					results[i].Alignments[rank].AlignResult = toAlignResult(res, true)
+					continue
+				}
+				s.metrics.cacheMisses.Add(1)
+			}
+			missPairs = append(missPairs, genasm.Pair{Query: q, Ref: region})
+			missSlots = append(missSlots, slot{read: i, aln: rank})
+			missKeys = append(missKeys, key)
+		}
+	}
+	if len(missPairs) > 0 {
+		aligned, err := s.sched.Submit(r.Context(), missPairs)
+		if err != nil {
+			writeSchedError(w, err)
+			return
+		}
+		for j, res := range aligned {
+			s.cache.Put(missKeys[j], res)
+			sl := missSlots[j]
+			results[sl.read].Alignments[sl.aln].AlignResult = toAlignResult(res, false)
+		}
+	}
+	writeJSON(w, http.StatusOK, MapAlignResponse{Ref: req.Ref, Results: results})
+}
+
+func (s *Server) handleRefAdd(w http.ResponseWriter, r *http.Request) {
+	var req RefAddRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Sequence == "" {
+		httpError(w, http.StatusBadRequest, "empty sequence")
+		return
+	}
+	ref, err := s.registry.Add(req.Name, []byte(req.Sequence))
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrDuplicateRef) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, ref)
+}
+
+func (s *Server) handleRefList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"refs": s.registry.List()})
+}
+
+func (s *Server) handleRefGet(w http.ResponseWriter, r *http.Request) {
+	ref, ok := s.registry.Get(r.PathValue("name"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "reference %q not registered", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, ref)
+}
+
+func (s *Server) handleRefDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.registry.Remove(r.PathValue("name")) {
+		httpError(w, http.StatusNotFound, "reference %q not registered", r.PathValue("name"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"backend":     s.eng.Backend().String(),
+		"fingerprint": s.fingerprint,
+		"refs":        s.registry.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.Snapshot()
+	snap["cache_size"] = s.cache.Len()
+	snap["cache_capacity"] = s.cache.Cap()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// ---- helpers ----
+
+func toAlignResult(r genasm.Result, cached bool) AlignResult {
+	return AlignResult{
+		Distance: r.Distance, Score: r.Score, Cigar: r.Cigar,
+		RefConsumed: r.RefConsumed, Cached: cached,
+	}
+}
+
+// decodeJSON decodes the request body into v, answering 413 when the
+// body exceeded the MaxBodyBytes cap and 400 on malformed JSON. It
+// reports whether decoding succeeded.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(r.Body).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds %d bytes", tooBig.Limit)
+	} else {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+	}
+	return false
+}
+
+func writeSchedError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away; the status is moot but keep the log shape.
+		httpError(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,447 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"genasm"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func doJSON(t *testing.T, client *http.Client, method, url string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestAlignCoalescing64Requests is the acceptance proof end to end: 64
+// concurrent single-pair POST /align requests are served in at most 8
+// backend batches, bit-identical to a direct Engine.AlignBatch, and
+// /metrics reports the batch-size histogram.
+func TestAlignCoalescing64Requests(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		Scheduler: SchedulerConfig{MaxBatch: 16, MaxDelay: 100 * time.Millisecond},
+		CacheSize: -1, // force every pair through the scheduler
+	})
+	pairs := testPairs(t, 64, 20)
+	want, err := srv.Engine().AlignBatch(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]AlignResult, len(pairs))
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, len(pairs))
+	for i := range pairs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/align", AlignRequest{
+				Pairs: []AlignPair{{Query: string(pairs[i].Query), Ref: string(pairs[i].Ref)}},
+			})
+			if status != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", status, body)
+				return
+			}
+			var resp AlignResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				errs[i] = err
+				return
+			}
+			if len(resp.Results) != 1 {
+				errs[i] = fmt.Errorf("%d results", len(resp.Results))
+				return
+			}
+			got[i] = resp.Results[0]
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := range pairs {
+		if toAlignResult(want[i], false) != got[i] {
+			t.Fatalf("pair %d: served %+v != direct %+v", i, got[i], want[i])
+		}
+	}
+
+	batches := srv.Metrics().batches.Load()
+	if batches > 8 {
+		t.Fatalf("64 concurrent /align requests ran as %d batches, want <= 8", batches)
+	}
+	t.Logf("64 /align requests coalesced into %d batches", batches)
+
+	// The histogram must be present in /metrics and account for every batch.
+	status, body := doJSON(t, ts.Client(), "GET", ts.URL+"/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	var snap struct {
+		Batches   int64            `json:"batches_total"`
+		PairsDone int64            `json:"pairs_done_total"`
+		Hist      map[string]int64 `json:"batch_size_hist"`
+		Backend   string           `json:"backend"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Batches != batches || snap.PairsDone != 64 {
+		t.Fatalf("metrics batches=%d pairs_done=%d", snap.Batches, snap.PairsDone)
+	}
+	if snap.Hist["+Inf"] != batches {
+		t.Fatalf("histogram +Inf bucket %d, want %d batches", snap.Hist["+Inf"], batches)
+	}
+	if snap.Backend != "cpu" {
+		t.Fatalf("backend %q", snap.Backend)
+	}
+}
+
+// TestHandlers is the table-driven sweep over every endpoint's
+// validation and status codes.
+func TestHandlers(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		EngineOptions:      []genasm.Option{genasm.WithMaxQueryLen(5000)},
+		Scheduler:          SchedulerConfig{MaxDelay: time.Millisecond},
+		MaxPairsPerRequest: 4,
+		MaxReadsPerRequest: 4,
+	})
+	seq := genasm.GenerateGenome(60_000, 30)
+	if _, err := srv.Registry().Add("chr1", seq); err != nil {
+		t.Fatal(err)
+	}
+	pair := AlignPair{Query: string(seq[100:300]), Ref: string(seq[100:340])}
+	longQuery := strings.Repeat("A", 6000)
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       any
+		raw        string // non-JSON body when set
+		wantStatus int
+		wantIn     string // substring of the response body
+	}{
+		{"align ok", "POST", "/align", AlignRequest{Pairs: []AlignPair{pair}}, "", 200, `"cigar"`},
+		{"align bad json", "POST", "/align", nil, "{not json", 400, "invalid JSON"},
+		{"align no pairs", "POST", "/align", AlignRequest{}, "", 400, "no pairs"},
+		{"align empty query", "POST", "/align", AlignRequest{Pairs: []AlignPair{{Ref: "ACGT"}}}, "", 400, "empty query"},
+		{"align too many pairs", "POST", "/align", AlignRequest{Pairs: []AlignPair{pair, pair, pair, pair, pair}}, "", 400, "exceeds per-request limit"},
+		{"align over-long query", "POST", "/align", AlignRequest{Pairs: []AlignPair{{Query: longQuery, Ref: longQuery}}}, "", 400, "exceeds limit"},
+		{"align wrong method", "GET", "/align", nil, "", 405, ""},
+		{"map-align unknown ref", "POST", "/map-align", MapAlignRequest{Ref: "nope", Reads: []ReadIn{{Name: "r", Seq: "ACGT"}}}, "", 404, "not registered"},
+		{"map-align no reads", "POST", "/map-align", MapAlignRequest{Ref: "chr1"}, "", 400, "no reads"},
+		{"map-align too many reads", "POST", "/map-align", MapAlignRequest{Ref: "chr1", Reads: make([]ReadIn, 5)}, "", 400, "exceeds per-request limit"},
+		{"refs add bad name", "POST", "/refs", RefAddRequest{Name: "a/b", Sequence: "ACGT"}, "", 400, "slash"},
+		{"refs add empty seq", "POST", "/refs", RefAddRequest{Name: "x"}, "", 400, "empty sequence"},
+		{"refs add dup", "POST", "/refs", RefAddRequest{Name: "chr1", Sequence: string(seq[:1000])}, "", 409, "already registered"},
+		{"refs list", "GET", "/refs", nil, "", 200, `"chr1"`},
+		{"refs get", "GET", "/refs/chr1", nil, "", 200, `"sha256"`},
+		{"refs get missing", "GET", "/refs/ghost", nil, "", 404, "not registered"},
+		{"refs delete missing", "DELETE", "/refs/ghost", nil, "", 404, "not registered"},
+		{"healthz", "GET", "/healthz", nil, "", 200, `"ok"`},
+		{"metrics", "GET", "/metrics", nil, "", 200, `"batch_size_hist"`},
+		{"unknown path", "GET", "/nope", nil, "", 404, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var status int
+			var body []byte
+			if tc.raw != "" {
+				req, _ := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.raw))
+				resp, err := ts.Client().Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				status = resp.StatusCode
+				body, _ = io.ReadAll(resp.Body)
+			} else {
+				status, body = doJSON(t, ts.Client(), tc.method, ts.URL+tc.path, tc.body)
+			}
+			if status != tc.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", status, tc.wantStatus, body)
+			}
+			if tc.wantIn != "" && !strings.Contains(string(body), tc.wantIn) {
+				t.Fatalf("body %s does not contain %q", body, tc.wantIn)
+			}
+		})
+	}
+
+	// Upload + delete round trip (stateful, so outside the table).
+	status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/refs",
+		RefAddRequest{Name: "tmp", Sequence: string(genasm.GenerateGenome(40_000, 31))})
+	if status != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", status, body)
+	}
+	if status, _ = doJSON(t, ts.Client(), "DELETE", ts.URL+"/refs/tmp", nil); status != http.StatusNoContent {
+		t.Fatalf("delete status %d", status)
+	}
+}
+
+// TestBodyTooLarge: a request body over MaxBodyBytes is answered 413,
+// not 400, so clients can tell a size limit from malformed JSON.
+func TestBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 1024})
+	status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/refs",
+		RefAddRequest{Name: "big", Sequence: strings.Repeat("A", 4096)})
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413 (body %s)", status, body)
+	}
+	if !strings.Contains(string(body), "exceeds 1024 bytes") {
+		t.Fatalf("body %s", body)
+	}
+}
+
+// TestAlignCacheHits: an identical pair served twice hits the cache the
+// second time, with identical results and hit accounting.
+func TestAlignCacheHits(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		Scheduler: SchedulerConfig{MaxDelay: time.Millisecond},
+		CacheSize: 128,
+	})
+	pairs := testPairs(t, 1, 40)
+	req := AlignRequest{Pairs: []AlignPair{{Query: string(pairs[0].Query), Ref: string(pairs[0].Ref)}}}
+
+	var first, second AlignResponse
+	status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/align", req)
+	if status != 200 {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	status, body = doJSON(t, ts.Client(), "POST", ts.URL+"/align", req)
+	if status != 200 {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Results[0].Cached || !second.Results[0].Cached {
+		t.Fatalf("cached flags: first=%v second=%v", first.Results[0].Cached, second.Results[0].Cached)
+	}
+	a, b := first.Results[0], second.Results[0]
+	a.Cached, b.Cached = false, false
+	if a != b {
+		t.Fatalf("cache returned a different result: %+v != %+v", b, a)
+	}
+	if hits := srv.Metrics().cacheHits.Load(); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+	if srv.Metrics().cacheMisses.Load() != 1 {
+		t.Fatalf("cache misses = %d, want 1", srv.Metrics().cacheMisses.Load())
+	}
+}
+
+// TestMapAlignEndToEnd: upload a reference, map-align simulated reads,
+// and check the best-candidate alignments are bit-identical to the
+// library's own MapAlign pipeline.
+func TestMapAlignEndToEnd(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		Scheduler: SchedulerConfig{MaxDelay: time.Millisecond},
+	})
+	ref := genasm.GenerateGenome(150_000, 50)
+	reads, err := genasm.SimulateLongReads(ref, 8, 1500, 0.1, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/refs",
+		RefAddRequest{Name: "genome", Sequence: string(ref)})
+	if status != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", status, body)
+	}
+
+	maReq := MapAlignRequest{Ref: "genome"}
+	for _, rd := range reads {
+		maReq.Reads = append(maReq.Reads, ReadIn{Name: rd.Name, Seq: string(rd.Seq)})
+	}
+	maReq.Reads = append(maReq.Reads,
+		ReadIn{Name: "junk", Seq: strings.Repeat("ACGTGTCA", 40)}, // likely unmapped
+		ReadIn{Name: "empty", Seq: ""},                            // per-read error
+	)
+	status, body = doJSON(t, ts.Client(), "POST", ts.URL+"/map-align", maReq)
+	if status != http.StatusOK {
+		t.Fatalf("map-align status %d: %s", status, body)
+	}
+	var resp MapAlignResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(maReq.Reads) {
+		t.Fatalf("%d results for %d reads", len(resp.Results), len(maReq.Reads))
+	}
+
+	// Reference pipeline: the library's own MapAlign on an identical
+	// engine configuration over the same mapper.
+	reg, _ := srv.Registry().Get("genome")
+	eng, err := genasm.NewEngine(genasm.WithMapper(reg.Mapper()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in []genasm.Read
+	for _, rd := range reads {
+		in = append(in, genasm.Read{Name: rd.Name, Seq: rd.Seq})
+	}
+	out, err := eng.MapAlign(context.Background(), genasm.StreamReads(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]genasm.MappedAlignment{}
+	for m := range out {
+		if m.Err == nil && !m.Unmapped {
+			want[m.Read.Name] = m
+		}
+	}
+
+	for i, got := range resp.Results[:len(reads)] {
+		w, mapped := want[got.Read]
+		if !mapped {
+			if !got.Unmapped {
+				t.Fatalf("read %d: server mapped what the library did not", i)
+			}
+			continue
+		}
+		if got.Unmapped || len(got.Alignments) != 1 {
+			t.Fatalf("read %s: %+v", got.Read, got)
+		}
+		a := got.Alignments[0]
+		if a.Distance != w.Result.Distance || a.Cigar != w.Result.Cigar ||
+			a.Score != w.Result.Score || a.RefConsumed != w.Result.RefConsumed {
+			t.Fatalf("read %s: served %+v != library %+v", got.Read, a, w.Result)
+		}
+		if a.RefStart != w.Candidate.Start || a.RevComp != w.Candidate.RevComp {
+			t.Fatalf("read %s: candidate mismatch %+v vs %+v", got.Read, a, w.Candidate)
+		}
+	}
+	if errRead := resp.Results[len(maReq.Reads)-1]; errRead.Error == "" {
+		t.Fatal("empty-sequence read reported no per-read error")
+	}
+
+	// all_candidates must emit at least as many alignments.
+	maReq.AllCandidates = true
+	maReq.Reads = maReq.Reads[:len(reads)]
+	status, body = doJSON(t, ts.Client(), "POST", ts.URL+"/map-align", maReq)
+	if status != http.StatusOK {
+		t.Fatalf("all-candidates status %d", status)
+	}
+	var all MapAlignResponse
+	if err := json.Unmarshal(body, &all); err != nil {
+		t.Fatal(err)
+	}
+	nBest, nAll := 0, 0
+	for i := range reads {
+		nBest += len(resp.Results[i].Alignments)
+		nAll += len(all.Results[i].Alignments)
+	}
+	if nAll < nBest {
+		t.Fatalf("all-candidates alignments %d < best-only %d", nAll, nBest)
+	}
+}
+
+// TestAlignBackpressure429: once the bounded queue is full, extra /align
+// requests are shed with 429 + Retry-After rather than queued without
+// limit.
+func TestAlignBackpressure429(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Scheduler: SchedulerConfig{MaxBatch: 1 << 20, MaxDelay: 300 * time.Millisecond, MaxQueue: 2},
+		CacheSize: -1,
+	})
+	pairs := testPairs(t, 8, 60)
+	statuses := make([]int, len(pairs))
+	retryAfter := make([]string, len(pairs))
+	var wg sync.WaitGroup
+	for i := range pairs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, _ := json.Marshal(AlignRequest{Pairs: []AlignPair{
+				{Query: string(pairs[i].Query), Ref: string(pairs[i].Ref)}}})
+			resp, err := ts.Client().Post(ts.URL+"/align", "application/json", bytes.NewReader(b))
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+	ok, shed := 0, 0
+	for i, st := range statuses {
+		switch st {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+			if retryAfter[i] == "" {
+				t.Fatal("429 without Retry-After")
+			}
+		default:
+			t.Fatalf("unexpected status %d", st)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("ok=%d shed=%d: want both admission and shedding", ok, shed)
+	}
+}
+
+// TestServerClose: after Close the scheduler refuses work with 503.
+func TestServerClose(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Scheduler: SchedulerConfig{MaxDelay: time.Millisecond}})
+	pairs := testPairs(t, 1, 70)
+	srv.Close()
+	status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/align", AlignRequest{
+		Pairs: []AlignPair{{Query: string(pairs[0].Query), Ref: string(pairs[0].Ref)}},
+	})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", status, body)
+	}
+}

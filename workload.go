@@ -94,8 +94,23 @@ func NewMapper(ref []byte) (*Mapper, error) {
 // Ref returns the indexed reference sequence.
 func (m *Mapper) Ref() []byte { return m.ref }
 
-// Region returns the reference slice a candidate points at.
-func (m *Mapper) Region(c CandidateRegion) []byte { return m.ref[c.Start:c.End] }
+// Region returns the reference slice a candidate points at. The region is
+// clamped to the reference bounds, so a stale or corrupted CandidateRegion
+// (e.g. deserialized from a cache or a remote caller) yields the valid
+// intersection — possibly empty — instead of a panic.
+func (m *Mapper) Region(c CandidateRegion) []byte {
+	start, end := c.Start, c.End
+	if start < 0 {
+		start = 0
+	}
+	if end > len(m.ref) {
+		end = len(m.ref)
+	}
+	if start >= end {
+		return nil
+	}
+	return m.ref[start:end]
+}
 
 // Candidates returns every chained candidate location for the read, best
 // first, with a 100 bp flank.

@@ -1,0 +1,67 @@
+package genasm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMapperRegionClamped pins the bounds-safety contract: Region returns
+// the valid intersection of a candidate with the reference, never panics,
+// for any CandidateRegion — including stale or corrupted ones.
+func TestMapperRegionClamped(t *testing.T) {
+	ref := GenerateGenome(50_000, 9)
+	mapper, err := NewMapper(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(ref)
+	cases := []struct {
+		name       string
+		c          CandidateRegion
+		start, end int // expected intersection; start==end means empty
+	}{
+		{"in bounds", CandidateRegion{Start: 100, End: 300}, 100, 300},
+		{"negative start", CandidateRegion{Start: -50, End: 200}, 0, 200},
+		{"end past reference", CandidateRegion{Start: n - 100, End: n + 500}, n - 100, n},
+		{"both out of bounds", CandidateRegion{Start: -10, End: n + 10}, 0, n},
+		{"entirely before", CandidateRegion{Start: -20, End: -5}, 0, 0},
+		{"entirely after", CandidateRegion{Start: n + 5, End: n + 20}, 0, 0},
+		{"inverted", CandidateRegion{Start: 300, End: 100}, 0, 0},
+		{"empty at bound", CandidateRegion{Start: n, End: n}, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := mapper.Region(tc.c)
+			want := ref[tc.start:tc.end]
+			if !bytes.Equal(got, want) {
+				t.Fatalf("Region(%+v) = %d bytes, want ref[%d:%d] (%d bytes)",
+					tc.c, len(got), tc.start, tc.end, len(want))
+			}
+		})
+	}
+}
+
+// TestMapperCandidatesWithinBounds checks the mapper's own candidates
+// already respect reference bounds after clamping in Region.
+func TestMapperCandidatesWithinBounds(t *testing.T) {
+	ref := GenerateGenome(120_000, 4)
+	mapper, err := NewMapper(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := SimulateLongReads(ref, 6, 2000, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rd := range reads {
+		for _, c := range mapper.Candidates(rd.Seq) {
+			region := mapper.Region(c)
+			if len(region) == 0 {
+				t.Fatalf("empty region for candidate %+v", c)
+			}
+			if len(region) > len(ref) {
+				t.Fatalf("region longer than reference: %d > %d", len(region), len(ref))
+			}
+		}
+	}
+}
