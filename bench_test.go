@@ -28,7 +28,6 @@ import (
 	"time"
 
 	"genasm"
-	"genasm/server"
 	"genasm/internal/baseline"
 	"genasm/internal/core"
 	"genasm/internal/dna"
@@ -38,6 +37,7 @@ import (
 	"genasm/internal/gpualign"
 	"genasm/internal/ksw2"
 	"genasm/internal/stats"
+	"genasm/server"
 )
 
 var (

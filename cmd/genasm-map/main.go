@@ -1,0 +1,228 @@
+// Command genasm-map is the end-to-end read mapper: FASTA reference plus
+// FASTA/FASTQ reads in, standard SAM (default) or PAF out, so the
+// pipeline's results feed samtools/paftools and compare directly against
+// conventional mappers.
+//
+// Reads stream through the genasm.Engine map-align pipeline (candidate
+// location by minimizer chaining, then alignment on the selected backend
+// and algorithm); records are emitted in input order and the output file
+// is written atomically, so an interrupted or failed run never leaves a
+// truncated SAM behind.
+//
+//	genasm-map -ref chr1.fa -reads reads.fastq -out reads.sam
+//	genasm-map -ref chr1.fa -reads reads.fastq -format paf -algo edlib -backend cpu
+//
+// SAM records carry FLAG (0x4 unmapped, 0x10 reverse strand, 0x100
+// secondary with -all), 1-based POS, a chain-score MAPQ, the extended
+// (=/X/I/D) CIGAR, and NM/AS tags. Reads that map to no reference
+// sequence appear once as FLAG 4 records (SAM only; PAF has no unmapped
+// representation). With a multi-sequence reference every sequence gets
+// an @SQ line and reads are mapped against each sequence independently;
+// a read that maps on several sequences keeps one primary record (its
+// first mapping sequence, in reference order) and is flagged secondary
+// elsewhere. Reads the pipeline rejects (e.g. over -max-query) are
+// skipped with a warning on stderr rather than failing the run.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+
+	"genasm"
+	"genasm/internal/cliutil"
+	"genasm/internal/genome"
+	"genasm/internal/readsim"
+	"genasm/internal/samfmt"
+)
+
+// version labels the @PG header line of emitted SAM.
+const version = "0.3.0"
+
+// options collects every flag so the whole mapping path is testable.
+type options struct {
+	refPath   string
+	readsPath string
+	outPath   string
+	format    string
+	algo      string
+	backend   string
+	threads   int
+	maxQuery  int
+	all       bool
+	// commandLine is recorded in the SAM @PG CL field; main derives it
+	// from the real arguments, tests pin it for golden stability.
+	commandLine string
+}
+
+func defaultOptions() options {
+	return options{outPath: "-", format: "sam", algo: "genasm", backend: "cpu"}
+}
+
+func main() {
+	o := defaultOptions()
+	flag.StringVar(&o.refPath, "ref", "", "reference FASTA (required)")
+	flag.StringVar(&o.readsPath, "reads", "", "reads FASTA/FASTQ (required)")
+	flag.StringVar(&o.outPath, "out", o.outPath, "output path (- = stdout), written atomically")
+	flag.StringVar(&o.format, "format", o.format, "output format: sam | paf")
+	flag.StringVar(&o.algo, "algo", o.algo, "algorithm: genasm | genasm-unimproved | edlib | ksw2 | swg")
+	flag.StringVar(&o.backend, "backend", o.backend, "execution backend: cpu | gpu")
+	flag.IntVar(&o.threads, "threads", 0, "worker threads (0 = GOMAXPROCS)")
+	flag.IntVar(&o.maxQuery, "max-query", 0, "skip reads longer than this with a warning (0 = unlimited)")
+	flag.BoolVar(&o.all, "all", false, "align every candidate location (secondary records), not just the best")
+	flag.Parse()
+	if o.refPath == "" || o.readsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	o.commandLine = "genasm-map " + strings.Join(os.Args[1:], " ")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := cliutil.WriteAtomic(o.outPath, func(out io.Writer) error {
+		return run(ctx, o, out, os.Stderr)
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "genasm-map:", err)
+		os.Exit(1)
+	}
+}
+
+// engineOptions translates the flags into genasm Engine options for one
+// reference's mapper.
+func (o options) engineOptions(mapper *genasm.Mapper) ([]genasm.Option, error) {
+	var kind genasm.BackendKind
+	switch o.backend {
+	case "cpu":
+		kind = genasm.CPU
+	case "gpu":
+		kind = genasm.GPU
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want cpu or gpu)", o.backend)
+	}
+	opts := []genasm.Option{
+		genasm.WithAlgorithm(genasm.Algorithm(o.algo)),
+		genasm.WithBackend(kind),
+		genasm.WithMapper(mapper),
+		genasm.WithAllCandidates(o.all),
+	}
+	if o.threads > 0 {
+		opts = append(opts, genasm.WithThreads(o.threads))
+	}
+	if o.maxQuery > 0 {
+		opts = append(opts, genasm.WithMaxQueryLen(o.maxQuery))
+	}
+	return opts, nil
+}
+
+// run executes the full mapping pipeline against out, warning about
+// skipped reads on logw. It is the whole CLI minus flag parsing and
+// atomic-file plumbing, so tests drive it directly.
+func run(ctx context.Context, o options, out, logw io.Writer) error {
+	// Early returns (a per-read error mid-stream) must tear down the
+	// MapAlign pipeline rather than leak its goroutines.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	format, err := samfmt.ParseFormat(o.format)
+	if err != nil {
+		return err
+	}
+	refFile, err := os.Open(o.refPath)
+	if err != nil {
+		return err
+	}
+	refs, err := genome.ReadFASTA(refFile)
+	refFile.Close()
+	if err != nil {
+		return err
+	}
+	if len(refs) == 0 {
+		return fmt.Errorf("no sequences in %s", o.refPath)
+	}
+	reads, err := readsim.LoadReadsFile(o.readsPath)
+	if err != nil {
+		return err
+	}
+	in := make([]genasm.Read, len(reads))
+	for i, rd := range reads {
+		in[i] = genasm.Read{Name: rd.Name, Seq: rd.Seq, Qual: rd.Qual}
+	}
+
+	samRefs := make([]samfmt.Ref, len(refs))
+	for i, r := range refs {
+		samRefs[i] = samfmt.Ref{Name: r.Name, Length: len(r.Seq)}
+	}
+	w := samfmt.NewWriter(out, format, samRefs, samfmt.Program{
+		Name: "genasm-map", Version: version, CommandLine: o.commandLine,
+	})
+
+	// mappedAny tracks which reads produced at least one record across
+	// every reference sequence; reads that mapped nowhere are emitted
+	// once as FLAG 4 records after the last pass (SAM only). Reads the
+	// pipeline rejects (e.g. over -max-query) are skipped with a warning
+	// — a per-read problem never costs the rest of the run its output.
+	mappedAny := make([]bool, len(in))
+	skipped := make([]bool, len(in))
+	for ri, ref := range refs {
+		mapper, err := genasm.NewMapper(ref.Seq)
+		if err != nil {
+			return err
+		}
+		engOpts, err := o.engineOptions(mapper)
+		if err != nil {
+			return err
+		}
+		eng, err := genasm.NewEngine(engOpts...)
+		if err != nil {
+			return err
+		}
+		mals, err := eng.MapAlign(ctx, genasm.StreamReads(in))
+		if err != nil {
+			return err
+		}
+		for m := range mals {
+			if m.Err != nil {
+				if err := ctx.Err(); err != nil {
+					return err // cancelled: the per-read error is just its echo
+				}
+				if !skipped[m.ReadIndex] {
+					skipped[m.ReadIndex] = true
+					fmt.Fprintf(logw, "genasm-map: skipping read %q: %v\n", m.Read.Name, m.Err)
+				}
+				continue
+			}
+			if m.Unmapped {
+				continue
+			}
+			// SAM permits one primary record per read: if an earlier
+			// reference sequence already produced it, this sequence's
+			// best hit is demoted to secondary (Rank > 0 renders as FLAG
+			// 0x100 with MAPQ 0).
+			if mappedAny[m.ReadIndex] && m.Rank == 0 {
+				m.Rank = 1
+			}
+			if err := w.Write(samRefs[ri], m); err != nil {
+				return err
+			}
+			mappedAny[m.ReadIndex] = true
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if format == samfmt.SAM {
+		for i, rd := range in {
+			if mappedAny[i] || skipped[i] {
+				continue
+			}
+			if err := w.Write(samfmt.Ref{}, genasm.MappedAlignment{ReadIndex: i, Read: rd, Unmapped: true}); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Flush()
+}

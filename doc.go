@@ -1,6 +1,7 @@
-// Package genasm is a genomic sequence alignment library built around an
-// improved GenASM algorithm (Lindegger et al., "Algorithmic Improvement and
-// GPU Acceleration of the GenASM Algorithm", 2022).
+// Package genasm is a genomic sequence alignment library and
+// read-mapping pipeline built around an improved GenASM algorithm
+// (Lindegger et al., "Algorithmic Improvement and GPU Acceleration of
+// the GenASM Algorithm", 2022).
 //
 // GenASM is a Bitap-based approximate string matching algorithm with
 // fine-grained bit-level parallelism. This library implements the paper's
@@ -19,8 +20,6 @@
 // same kernels on a simulated SIMT device (an NVIDIA A6000 model) with a
 // shared-memory / L2 / DRAM cost model.
 //
-// Quick start:
-//
 //	eng, _ := genasm.NewEngine(
 //		genasm.WithAlgorithm(genasm.GenASM),
 //		genasm.WithBackend(genasm.CPU), // or genasm.GPU
@@ -32,9 +31,14 @@
 //
 //	results, err := eng.AlignBatch(ctx, pairs)
 //
-// The full map-then-align pipeline (minimizer/chaining candidate location
-// followed by best-candidate alignment) streams with per-item errors and
-// ordered emission:
+// See ExampleNewEngine and ExampleEngine_AlignBatch for runnable
+// versions of both.
+//
+// # The read-mapping pipeline
+//
+// The full map-then-align pipeline (minimizer/chaining candidate
+// location followed by best-candidate alignment) streams with per-item
+// errors and ordered emission:
 //
 //	mapper, _ := genasm.NewMapper(ref)
 //	eng, _ := genasm.NewEngine(genasm.WithMapper(mapper))
@@ -44,7 +48,14 @@
 //		use(m.Result)
 //	}
 //
-// The library ships:
+// Each MappedAlignment carries the candidate location, the total
+// candidate count and the runner-up chain score, which is everything a
+// consumer needs to derive SAM FLAG/POS/MAPQ. The internal/samfmt
+// package does exactly that: cmd/genasm-map is the end-to-end binary
+// (FASTA reference + FASTA/FASTQ reads in, SAM or PAF out), and the
+// HTTP server streams the same records. See ExampleEngine_MapAlign.
+//
+// # Library contents
 //
 //   - the improved GenASM aligner (Algorithm GenASM) for short and long
 //     reads, plus the unimproved MICRO'20 formulation (GenASMUnimproved)
@@ -53,24 +64,30 @@
 //   - a CPU backend with pooled aligners and a GPU backend running the
 //     same kernels on the simulated device — selected per Engine with
 //     WithBackend, bit-identical results either way;
-//   - workload tooling: synthetic genome generation, a PBSIM2-like read
-//     simulator, and a minimap2-like minimizer/chaining candidate
-//     generator (Mapper).
-//
-// The pre-Engine entry points (New/Align, AlignBatch, AlignBatchGPU)
-// remain as thin deprecated shims that delegate to an Engine.
+//   - workload tooling: synthetic genome generation (GenerateGenome), a
+//     PBSIM2-like read simulator (SimulateLongReads, SimulateShortReads)
+//     and a minimap2-like minimizer/chaining candidate generator
+//     (Mapper).
 //
 // # Serving
 //
 // The server subpackage (genasm/server, binary cmd/genasm-serve) exposes
-// an Engine as a batching HTTP JSON service: a dynamic batch scheduler
+// an Engine as a batching HTTP service: a dynamic batch scheduler
 // coalesces many small concurrent requests into backend-sized
 // AlignBatch calls under a max-latency deadline (bounded queue, 429
 // backpressure), a registry indexes named references once into shared
 // Mappers, an LRU cache keyed on Engine.Fingerprint short-circuits
-// repeated alignments, and /metrics + /healthz report queue depth,
-// batch-size histogram, latency percentiles and cache hit rates.
+// repeated alignments, and /metrics + /healthz report operational state.
+// /map-align responses are buffered JSON or incrementally streamed
+// SAM/PAF. The full HTTP reference is docs/API.md; the layer map with
+// the MapAlign data flow is docs/ARCHITECTURE.md.
 //
-// See examples/ for complete programs and DESIGN.md / EXPERIMENTS.md for
-// the paper-reproduction methodology.
+// # Migrating from the pre-Engine API
+//
+// The original entry points remain as thin deprecated shims that
+// delegate to a throwaway Engine: New/Aligner.Align is NewEngine +
+// Engine.Align, the package-level AlignBatch is Engine.AlignBatch with
+// WithThreads, and AlignBatchGPU is Engine.AlignBatch under
+// WithBackend(GPU) with stats from Engine.GPUStats. WithConfig seeds an
+// Engine from a legacy Config during migration.
 package genasm

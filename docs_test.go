@@ -1,0 +1,46 @@
+package genasm_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// markdownLink matches inline markdown links and captures the target.
+var markdownLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsRelativeLinks walks README.md and docs/*.md and checks that
+// every relative link target exists, so documentation cannot silently
+// rot as files move. External (scheme-qualified) links and pure anchors
+// are skipped.
+func TestDocsRelativeLinks(t *testing.T) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(files) < 3 {
+		t.Fatalf("expected README.md plus at least two docs/ files, found %v", files)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, match := range markdownLink.FindAllStringSubmatch(string(data), -1) {
+			target := match[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#") // drop anchors
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not exist (%v)", file, match[1], err)
+			}
+		}
+	}
+}

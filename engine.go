@@ -87,8 +87,9 @@ func WithAblation(disableSENE, disableDENT, disableET bool) Option {
 	}
 }
 
-// WithThreads sets the CPU worker count for AlignBatch and MapAlign
-// (default GOMAXPROCS).
+// WithThreads sets the worker count (default GOMAXPROCS): the CPU
+// backend's AlignBatch fan-out, and the MapAlign pipeline's map/align
+// worker count on either backend.
 func WithThreads(n int) Option {
 	return func(s *engineSettings) { s.threads = n }
 }
@@ -184,11 +185,13 @@ func (e *Engine) Backend() BackendKind { return e.kind }
 func (e *Engine) MaxQueryLen() int { return e.maxQueryLen }
 
 // Fingerprint returns a deterministic string identifying every parameter
-// that affects this engine's Results: algorithm, window geometry, ablation
-// toggles, scoring, band width, backend and candidate policy. Two engines
-// with equal fingerprints produce bit-identical Results for the same
-// input, so the fingerprint is a safe result-cache key component (the
-// serving layer relies on this).
+// that affects this engine's observable behaviour: algorithm, window
+// geometry, ablation toggles, scoring, band width, backend, candidate
+// policy, and the MaxQueryLen admission guardrail (which decides whether
+// a query errors instead of aligning). Two engines with equal
+// fingerprints produce bit-identical Results for the same input, so the
+// fingerprint is a safe result-cache key component (the serving layer
+// relies on this).
 func (e *Engine) Fingerprint() string {
 	c := e.cfg
 	return fmt.Sprintf("algo=%s;w=%d;o=%d;k=%d;abl=%t%t%t;sc=%d/%d/%d/%d;band=%d;be=%s;all=%t;maxq=%d",
@@ -238,6 +241,10 @@ func (e *Engine) AlignBatch(ctx context.Context, pairs []Pair) ([]Result, error)
 type Read struct {
 	Name string
 	Seq  []byte
+	// Qual holds per-base Phred+33 qualities when the read came from
+	// FASTQ; it may be nil (FASTA input) and is carried through the
+	// pipeline untouched for output formats that want it (SAM).
+	Qual []byte
 }
 
 // StreamReads adapts a slice to the channel MapAlign consumes. The
@@ -264,6 +271,14 @@ type MappedAlignment struct {
 	// (Rank 0 = best) when the read mapped.
 	Candidate CandidateRegion
 	Rank      int
+	// Candidates is how many candidate locations the mapper found for
+	// this read in total, even when only the best was aligned.
+	Candidates int
+	// SecondaryScore is the chain score of the read's runner-up candidate
+	// location (0 when there was no second candidate). Together with
+	// Candidate.Score it lets consumers derive a mapping-quality estimate
+	// without re-running the mapper.
+	SecondaryScore float64
 	// Result is the alignment, valid when Err is nil and Unmapped is
 	// false.
 	Result Result
@@ -383,6 +398,10 @@ func (e *Engine) mapAlignOne(ctx context.Context, idx int, rd Read) []MappedAlig
 	if len(cands) == 0 {
 		base.Unmapped = true
 		return []MappedAlignment{base}
+	}
+	base.Candidates = len(cands)
+	if len(cands) > 1 {
+		base.SecondaryScore = cands[1].Score
 	}
 	if !e.allCands {
 		cands = cands[:1]

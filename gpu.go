@@ -13,16 +13,26 @@ type GPUConfig struct {
 	TargetBlocksPerSM int
 }
 
-// GPUStats reports the simulated launch.
+// GPUStats reports one simulated device launch (one AlignBatch call, or
+// one read's candidate batch under MapAlign). Every figure is per-launch,
+// not cumulative across the engine's lifetime.
 type GPUStats struct {
-	Device         string
-	Seconds        float64
+	// Device names the simulated device model (e.g. "NVIDIA RTX A6000").
+	Device string
+	// Seconds is the modelled wall-clock time of the launch: MakespanCycles
+	// divided by the device clock.
+	Seconds float64
+	// MakespanCycles is the modelled cycle count of the launch's critical
+	// path (block schedule plus L2/DRAM bandwidth floors).
 	MakespanCycles uint64
-	BlocksPerSM    int
-	// SharedBlocks / SpilledBlocks count alignments whose DP working set
-	// did / did not fit the block's shared-memory allocation.
+	// BlocksPerSM is the occupancy the launch ran at.
+	BlocksPerSM int
+	// SharedBlocks / SpilledBlocks count pairs (one pair = one thread
+	// block) whose DP working set did / did not fit the block's
+	// shared-memory allocation; spilled blocks pay the L2/DRAM path.
 	SharedBlocks, SpilledBlocks int
-	// PairsPerSecond is the modelled device throughput.
+	// PairsPerSecond is this launch's modelled throughput: the batch's
+	// pair count divided by Seconds. It is zero for an empty launch.
 	PairsPerSecond float64
 }
 

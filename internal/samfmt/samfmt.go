@@ -1,0 +1,282 @@
+// Package samfmt renders genasm map-align emissions as the standard
+// read-mapping interchange formats: SAM (v1.6) records and PAF lines.
+// It is the bridge between the Engine.MapAlign pipeline's internal
+// MappedAlignment values and downstream tooling (samtools, paftools,
+// IGV, ...): cmd/genasm-map and the HTTP server's streaming /map-align
+// responses are both built on it.
+//
+// Conventions:
+//
+//   - Coordinates. A MappedAlignment aligns the read (reverse-complemented
+//     for '-' strand candidates) against the forward-strand reference
+//     slice starting at Candidate.Start; the alignment consumes
+//     Result.RefConsumed reference bases. SAM POS is therefore
+//     Candidate.Start+1 (1-based) and the PAF target interval is
+//     [Candidate.Start, Candidate.Start+RefConsumed).
+//   - CIGAR. Records carry the extended operation alphabet (=, X, I, D)
+//     exactly as produced by internal/cigar; SAM v1.6 permits it, and it
+//     round-trips losslessly through cigar.Parse.
+//   - Strand. '-' strand records follow the SAM convention: FLAG 0x10 is
+//     set, SEQ is the reverse complement of the read, and QUAL is
+//     reversed, so SEQ always matches the forward reference.
+//   - Unmapped reads (no candidate location) become FLAG 0x4 SAM records
+//     with *-valued RNAME/POS/CIGAR. PAF has no unmapped record; they are
+//     skipped there.
+package samfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"genasm"
+	"genasm/internal/cigar"
+)
+
+// Format selects an output format for a Writer.
+type Format string
+
+const (
+	// SAM is the Sequence Alignment/Map text format (v1.6).
+	SAM Format = "sam"
+	// PAF is minimap2's Pairwise mApping Format.
+	PAF Format = "paf"
+)
+
+// ParseFormat parses a user-supplied format name ("sam" or "paf",
+// case-insensitive).
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "sam":
+		return SAM, nil
+	case "paf":
+		return PAF, nil
+	default:
+		return "", fmt.Errorf("samfmt: unknown format %q (want sam or paf)", s)
+	}
+}
+
+// SAM FLAG bits used by this package.
+const (
+	// FlagUnmapped marks a read with no candidate location (0x4).
+	FlagUnmapped = 0x4
+	// FlagRevComp marks a '-' strand alignment (0x10); SEQ/QUAL are
+	// stored reverse-complemented / reversed.
+	FlagRevComp = 0x10
+	// FlagSecondary marks a non-best candidate alignment (0x100),
+	// emitted under WithAllCandidates.
+	FlagSecondary = 0x100
+)
+
+// Ref identifies one reference sequence in SAM/PAF coordinates.
+type Ref struct {
+	Name   string
+	Length int
+}
+
+// Program describes the generating program for the SAM @PG header line.
+// Zero-valued fields are omitted from the line.
+type Program struct {
+	Name        string // @PG ID and PN
+	Version     string // @PG VN
+	CommandLine string // @PG CL
+}
+
+// SAMHeader renders the SAM header: @HD, one @SQ per reference, and an
+// optional @PG (emitted when pg.Name is set). The returned string ends
+// with a newline.
+func SAMHeader(refs []Ref, pg Program) string {
+	var b strings.Builder
+	b.WriteString("@HD\tVN:1.6\tSO:unsorted\n")
+	for _, r := range refs {
+		fmt.Fprintf(&b, "@SQ\tSN:%s\tLN:%d\n", r.Name, r.Length)
+	}
+	if pg.Name != "" {
+		fmt.Fprintf(&b, "@PG\tID:%s\tPN:%s", pg.Name, pg.Name)
+		if pg.Version != "" {
+			fmt.Fprintf(&b, "\tVN:%s", pg.Version)
+		}
+		if pg.CommandLine != "" {
+			fmt.Fprintf(&b, "\tCL:%s", pg.CommandLine)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// MapQ estimates a Phred-scaled mapping quality from the mapper's chain
+// scores, minimap2-style: a read whose best candidate has no plausible
+// rival maps with full confidence (60), and confidence degrades linearly
+// with the runner-up's relative chain score down to 0 for an exact tie.
+// A read with no positive best score gets 0.
+func MapQ(best, second float64, candidates int) int {
+	if best <= 0 {
+		return 0
+	}
+	if candidates <= 1 || second <= 0 {
+		return 60
+	}
+	q := 60 * (1 - second/best)
+	if q < 0 {
+		return 0
+	}
+	return int(q)
+}
+
+// SAMRecord renders one MappedAlignment as a SAM alignment line (no
+// trailing newline). Unmapped emissions become FLAG 0x4 records; '-'
+// strand emissions store SEQ/QUAL in forward-reference orientation; Rank
+// > 0 emissions are flagged secondary with MAPQ 0. m.Err is returned
+// as-is: a failed read has no SAM representation.
+func SAMRecord(ref Ref, m genasm.MappedAlignment) (string, error) {
+	if m.Err != nil {
+		return "", m.Err
+	}
+	name := m.Read.Name
+	if name == "" {
+		name = "*"
+	}
+	if m.Unmapped {
+		return fmt.Sprintf("%s\t%d\t*\t0\t0\t*\t*\t0\t0\t%s\t%s",
+			name, FlagUnmapped, seqOrStar(m.Read.Seq), qualString(m.Read.Qual, len(m.Read.Seq), false)), nil
+	}
+	flag := 0
+	seq := m.Read.Seq
+	revved := false
+	if m.Candidate.RevComp {
+		flag |= FlagRevComp
+		seq = genasm.ReverseComplement(seq)
+		revved = true
+	}
+	mapq := MapQ(m.Candidate.Score, m.SecondaryScore, m.Candidates)
+	if m.Rank > 0 {
+		flag |= FlagSecondary
+		mapq = 0
+	}
+	pos := m.Candidate.Start
+	if pos < 0 {
+		pos = 0
+	}
+	cg := m.Result.Cigar
+	if cg == "" {
+		cg = "*"
+	}
+	return fmt.Sprintf("%s\t%d\t%s\t%d\t%d\t%s\t*\t0\t0\t%s\t%s\tNM:i:%d\tAS:i:%d",
+		name, flag, ref.Name, pos+1, mapq, cg,
+		seqOrStar(seq), qualString(m.Read.Qual, len(m.Read.Seq), revved),
+		m.Result.Distance, m.Result.Score), nil
+}
+
+// PAFRecord renders one MappedAlignment as a PAF line (no trailing
+// newline). The second return is false for emissions PAF cannot
+// represent (unmapped reads). m.Err is returned as-is.
+func PAFRecord(ref Ref, m genasm.MappedAlignment) (string, bool, error) {
+	if m.Err != nil {
+		return "", false, m.Err
+	}
+	if m.Unmapped {
+		return "", false, nil
+	}
+	strand := '+'
+	if m.Candidate.RevComp {
+		strand = '-'
+	}
+	tstart := m.Candidate.Start
+	if tstart < 0 {
+		tstart = 0
+	}
+	matches, blockLen := 0, 0
+	if m.Result.Cigar != "" {
+		cg, err := cigar.Parse(m.Result.Cigar)
+		if err != nil {
+			return "", false, fmt.Errorf("samfmt: read %q: %w", m.Read.Name, err)
+		}
+		for _, op := range cg {
+			blockLen += op.Len
+			if op.Kind == cigar.Match {
+				matches += op.Len
+			}
+		}
+	}
+	mapq := MapQ(m.Candidate.Score, m.SecondaryScore, m.Candidates)
+	tp := 'P'
+	if m.Rank > 0 {
+		mapq, tp = 0, 'S'
+	}
+	qlen := len(m.Read.Seq)
+	line := fmt.Sprintf("%s\t%d\t%d\t%d\t%c\t%s\t%d\t%d\t%d\t%d\t%d\t%d\tNM:i:%d\tAS:i:%d\ttp:A:%c",
+		m.Read.Name, qlen, 0, qlen, strand, ref.Name, ref.Length,
+		tstart, tstart+m.Result.RefConsumed, matches, blockLen, mapq,
+		m.Result.Distance, m.Result.Score, tp)
+	if m.Result.Cigar != "" {
+		line += "\tcg:Z:" + m.Result.Cigar
+	}
+	return line, true, nil
+}
+
+// seqOrStar renders a SAM SEQ column ('*' when the sequence is absent).
+func seqOrStar(seq []byte) string {
+	if len(seq) == 0 {
+		return "*"
+	}
+	return string(seq)
+}
+
+// qualString renders a SAM QUAL column: '*' when qualities are absent or
+// disagree with the sequence length, reversed for '-' strand records.
+func qualString(qual []byte, seqLen int, reverse bool) string {
+	if len(qual) == 0 || len(qual) != seqLen {
+		return "*"
+	}
+	if !reverse {
+		return string(qual)
+	}
+	out := make([]byte, len(qual))
+	for i, q := range qual {
+		out[len(qual)-1-i] = q
+	}
+	return string(out)
+}
+
+// Writer streams MappedAlignments to an io.Writer in one Format. For SAM
+// the header is written eagerly at construction; records follow in call
+// order. Writer is not safe for concurrent use.
+type Writer struct {
+	bw     *bufio.Writer
+	format Format
+}
+
+// NewWriter wraps w. For the SAM format the header (refs + pg) is
+// buffered immediately; for PAF both header arguments are ignored.
+func NewWriter(w io.Writer, format Format, refs []Ref, pg Program) *Writer {
+	sw := &Writer{bw: bufio.NewWriter(w), format: format}
+	if format == SAM {
+		sw.bw.WriteString(SAMHeader(refs, pg))
+	}
+	return sw
+}
+
+// Write renders one emission. Emissions the format cannot represent
+// (unmapped reads in PAF) are skipped silently; m.Err fails the call.
+func (w *Writer) Write(ref Ref, m genasm.MappedAlignment) error {
+	switch w.format {
+	case PAF:
+		line, ok, err := PAFRecord(ref, m)
+		if err != nil || !ok {
+			return err
+		}
+		w.bw.WriteString(line)
+	default:
+		line, err := SAMRecord(ref, m)
+		if err != nil {
+			return err
+		}
+		w.bw.WriteString(line)
+	}
+	return w.bw.WriteByte('\n')
+}
+
+// Flush writes any buffered output through to the underlying writer and
+// reports the first error the buffer absorbed.
+func (w *Writer) Flush() error { return w.bw.Flush() }

@@ -1,0 +1,290 @@
+package samfmt
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+
+	"genasm"
+	"genasm/internal/cigar"
+)
+
+func TestSAMHeader(t *testing.T) {
+	h := SAMHeader(
+		[]Ref{{Name: "chr1", Length: 1000}, {Name: "chr2", Length: 500}},
+		Program{Name: "genasm-map", Version: "1.0", CommandLine: "genasm-map -ref x.fa"},
+	)
+	want := "@HD\tVN:1.6\tSO:unsorted\n" +
+		"@SQ\tSN:chr1\tLN:1000\n" +
+		"@SQ\tSN:chr2\tLN:500\n" +
+		"@PG\tID:genasm-map\tPN:genasm-map\tVN:1.0\tCL:genasm-map -ref x.fa\n"
+	if h != want {
+		t.Fatalf("header:\n%q\nwant:\n%q", h, want)
+	}
+	// No @PG without a program name; always newline-terminated.
+	h = SAMHeader([]Ref{{Name: "r", Length: 1}}, Program{})
+	if strings.Contains(h, "@PG") || !strings.HasSuffix(h, "\n") {
+		t.Fatalf("headerless-program header %q", h)
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]Format{"sam": SAM, "SAM": SAM, "paf": PAF, "Paf": PAF} {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("bam"); err == nil {
+		t.Fatal("ParseFormat accepted bam")
+	}
+}
+
+func TestMapQ(t *testing.T) {
+	cases := []struct {
+		best, second float64
+		candidates   int
+		want         int
+	}{
+		{0, 0, 0, 0},        // no mapping evidence
+		{100, 0, 1, 60},     // unique candidate
+		{100, 50, 2, 30},    // runner-up at half the score
+		{100, 100, 2, 0},    // exact tie
+		{100, 200, 2, 0},    // corrupt ordering clamps at 0
+		{100, 0.001, 5, 59}, // negligible runner-up
+	}
+	for _, c := range cases {
+		if got := MapQ(c.best, c.second, c.candidates); got != c.want {
+			t.Errorf("MapQ(%g, %g, %d) = %d want %d", c.best, c.second, c.candidates, got, c.want)
+		}
+	}
+}
+
+// mal builds a consistent forward-strand MappedAlignment for unit tests.
+func mal() genasm.MappedAlignment {
+	return genasm.MappedAlignment{
+		Read:       genasm.Read{Name: "r1", Seq: []byte("ACGTACGT"), Qual: []byte("IIIIHHHH")},
+		Candidate:  genasm.CandidateRegion{Start: 9, End: 27, Score: 40},
+		Candidates: 1,
+		Result:     genasm.Result{Distance: 1, Score: 10, Cigar: "4=1X3=", RefConsumed: 8},
+	}
+}
+
+func TestSAMRecordForward(t *testing.T) {
+	rec, err := SAMRecord(Ref{Name: "chr1", Length: 100}, mal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := strings.Split(rec, "\t")
+	if len(f) != 13 {
+		t.Fatalf("%d SAM fields in %q", len(f), rec)
+	}
+	want := []string{"r1", "0", "chr1", "10", "60", "4=1X3=", "*", "0", "0", "ACGTACGT", "IIIIHHHH", "NM:i:1", "AS:i:10"}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Errorf("field %d = %q want %q (record %q)", i, f[i], want[i], rec)
+		}
+	}
+}
+
+func TestSAMRecordRevComp(t *testing.T) {
+	m := mal()
+	m.Candidate.RevComp = true
+	rec, err := SAMRecord(Ref{Name: "chr1", Length: 100}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := strings.Split(rec, "\t")
+	flag, _ := strconv.Atoi(f[1])
+	if flag&FlagRevComp == 0 {
+		t.Fatalf("flag %d missing 0x10 in %q", flag, rec)
+	}
+	// SEQ is stored in forward-reference orientation, QUAL reversed.
+	wantSeq := string(genasm.ReverseComplement([]byte("ACGTACGT")))
+	if f[9] != wantSeq {
+		t.Fatalf("SEQ %q want %q", f[9], wantSeq)
+	}
+	if f[10] != "HHHHIIII" {
+		t.Fatalf("QUAL %q want reversed HHHHIIII", f[10])
+	}
+}
+
+func TestSAMRecordUnmappedFlag4(t *testing.T) {
+	m := genasm.MappedAlignment{
+		Read:     genasm.Read{Name: "lost", Seq: []byte("ACGT"), Qual: []byte("IIII")},
+		Unmapped: true,
+	}
+	rec, err := SAMRecord(Ref{Name: "chr1", Length: 100}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := strings.Split(rec, "\t")
+	want := []string{"lost", "4", "*", "0", "0", "*", "*", "0", "0", "ACGT", "IIII"}
+	if len(f) != len(want) {
+		t.Fatalf("%d fields in unmapped record %q", len(f), rec)
+	}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Errorf("field %d = %q want %q", i, f[i], want[i])
+		}
+	}
+}
+
+func TestSAMRecordSecondaryAndErrors(t *testing.T) {
+	m := mal()
+	m.Rank = 1
+	m.Candidates = 2
+	m.SecondaryScore = 35
+	rec, err := SAMRecord(Ref{Name: "chr1", Length: 100}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := strings.Split(rec, "\t")
+	flag, _ := strconv.Atoi(f[1])
+	if flag&FlagSecondary == 0 || f[4] != "0" {
+		t.Fatalf("secondary record %q: want 0x100 flag and MAPQ 0", rec)
+	}
+
+	m = mal()
+	m.Err = errors.New("boom")
+	if _, err := SAMRecord(Ref{Name: "chr1"}, m); err == nil {
+		t.Fatal("errored emission produced a record")
+	}
+}
+
+func TestSAMRecordQualMismatchBecomesStar(t *testing.T) {
+	m := mal()
+	m.Read.Qual = []byte("II") // wrong length: must degrade to '*', not emit an invalid record
+	rec, err := SAMRecord(Ref{Name: "chr1", Length: 100}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := strings.Split(rec, "\t"); f[10] != "*" {
+		t.Fatalf("QUAL %q want *", f[10])
+	}
+}
+
+func TestPAFRecord(t *testing.T) {
+	line, ok, err := PAFRecord(Ref{Name: "chr1", Length: 100}, mal())
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	f := strings.Split(line, "\t")
+	want := []string{"r1", "8", "0", "8", "+", "chr1", "100", "9", "17", "7", "8", "60",
+		"NM:i:1", "AS:i:10", "tp:A:P", "cg:Z:4=1X3="}
+	if len(f) != len(want) {
+		t.Fatalf("%d PAF fields in %q", len(f), line)
+	}
+	for i := range want {
+		if f[i] != want[i] {
+			t.Errorf("field %d = %q want %q", i, f[i], want[i])
+		}
+	}
+
+	// Unmapped reads have no PAF representation.
+	if _, ok, err := PAFRecord(Ref{Name: "chr1"}, genasm.MappedAlignment{Unmapped: true}); ok || err != nil {
+		t.Fatalf("unmapped PAF ok=%v err=%v", ok, err)
+	}
+}
+
+// TestPipelineRecordsRoundTrip drives the real MapAlign pipeline over a
+// simulated workload and validates every emitted SAM record against
+// internal/cigar: the CIGAR parses back, consumes exactly the read
+// against the reference slice at POS, and the NM tag equals both the
+// reported Distance and the CIGAR's own edit cost.
+func TestPipelineRecordsRoundTrip(t *testing.T) {
+	ref := genasm.GenerateGenome(60_000, 3)
+	reads, err := genasm.SimulateLongReads(ref, 12, 1200, 0.08, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapper, err := genasm.NewMapper(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := genasm.NewEngine(genasm.WithMapper(mapper))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]genasm.Read, len(reads))
+	for i, r := range reads {
+		in[i] = genasm.Read{Name: r.Name, Seq: r.Seq, Qual: r.Qual}
+	}
+	out, err := eng.MapAlign(context.Background(), genasm.StreamReads(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sref := Ref{Name: "synthetic", Length: len(ref)}
+	mapped := 0
+	var buf bytes.Buffer
+	w := NewWriter(&buf, SAM, []Ref{sref}, Program{Name: "test"})
+	for m := range out {
+		if m.Err != nil {
+			t.Fatal(m.Err)
+		}
+		if err := w.Write(sref, m); err != nil {
+			t.Fatal(err)
+		}
+		if m.Unmapped {
+			continue
+		}
+		mapped++
+		rec, err := SAMRecord(sref, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := strings.Split(rec, "\t")
+		flag, _ := strconv.Atoi(f[1])
+		pos, _ := strconv.Atoi(f[3])
+		cg, err := cigar.Parse(f[5])
+		if err != nil {
+			t.Fatalf("CIGAR %q does not parse: %v", f[5], err)
+		}
+		if cg.String() != m.Result.Cigar {
+			t.Fatalf("CIGAR round-trip %q -> %q", m.Result.Cigar, cg.String())
+		}
+		// The record's SEQ aligned against the reference slice at POS must
+		// satisfy the CIGAR exactly.
+		query := []byte(f[9])
+		region := ref[pos-1 : pos-1+cg.RefLen()]
+		if err := cg.Check(query, region); err != nil {
+			t.Fatalf("read %s: %v", f[0], err)
+		}
+		wantNM := "NM:i:" + strconv.Itoa(m.Result.Distance)
+		if !strings.Contains(rec, wantNM) {
+			t.Fatalf("record %q missing %s", rec, wantNM)
+		}
+		if cg.EditCost() != m.Result.Distance {
+			t.Fatalf("CIGAR edit cost %d != distance %d", cg.EditCost(), m.Result.Distance)
+		}
+		if flag&FlagRevComp == 0 && !bytes.Equal(query, m.Read.Seq) {
+			t.Fatal("forward record SEQ differs from the read")
+		}
+	}
+	if mapped == 0 {
+		t.Fatal("no reads mapped; workload too small")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n < len(reads)+2 {
+		t.Fatalf("writer emitted %d lines for %d reads plus header", n, len(reads))
+	}
+}
+
+func TestWriterPAFSkipsUnmapped(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, PAF, nil, Program{})
+	if err := w.Write(Ref{Name: "chr1"}, genasm.MappedAlignment{Unmapped: true, Read: genasm.Read{Name: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("PAF writer emitted %q for an unmapped read", buf.String())
+	}
+}

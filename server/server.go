@@ -17,7 +17,13 @@
 //     size histogram, latency percentiles, cache hits, backend kind) and
 //     /healthz.
 //
-// See cmd/genasm-serve for the binary.
+// /map-align negotiates its response representation: JSON (default, one
+// buffered body) or standard SAM/PAF records (format=sam|paf, via query
+// parameter or request field) streamed incrementally chunk by chunk,
+// with completion signalled in the X-Genasm-Status trailer.
+//
+// See cmd/genasm-serve for the binary and docs/API.md for the full HTTP
+// reference.
 package server
 
 import (
@@ -25,9 +31,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"genasm"
+	"genasm/internal/samfmt"
 )
 
 // Config configures a Server.
@@ -148,6 +156,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards http.Flusher so the streaming /map-align path can push
+// records through the metrics wrapper incrementally.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // ---- wire types ----
 
 // AlignPair is one query/reference pair of an /align request.
@@ -182,12 +198,19 @@ type MapAlignRequest struct {
 	Ref           string   `json:"ref"`
 	Reads         []ReadIn `json:"reads"`
 	AllCandidates bool     `json:"all_candidates"`
+	// Format selects the response representation: "json" (default, one
+	// buffered MapAlignResponse body), or "sam" / "paf" (text records
+	// streamed incrementally as reads finish aligning). The ?format=
+	// query parameter takes precedence when both are set.
+	Format string `json:"format,omitempty"`
 }
 
-// ReadIn is one read of a /map-align request.
+// ReadIn is one read of a /map-align request. Qual (Phred+33, optional)
+// is carried through to SAM output.
 type ReadIn struct {
 	Name string `json:"name"`
 	Seq  string `json:"seq"`
+	Qual string `json:"qual,omitempty"`
 }
 
 // MappedRead is the /map-align outcome for one read.
@@ -302,40 +325,103 @@ func (s *Server) handleMapAlign(w http.ResponseWriter, r *http.Request) {
 			len(req.Reads), s.cfg.MaxReadsPerRequest)
 		return
 	}
+	format := req.Format
+	if qf := r.URL.Query().Get("format"); qf != "" {
+		format = qf
+	}
+	switch format {
+	case "", "json":
+	case "sam", "paf":
+		s.streamMapAlign(w, r, ref, req, samfmt.Format(format))
+		return
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (want json, sam or paf)", format)
+		return
+	}
 
+	aligned, err := s.alignReads(r.Context(), ref, req.Reads, req.AllCandidates)
+	if err != nil {
+		writeSchedError(w, err)
+		return
+	}
+	results := make([]MappedRead, len(aligned))
+	for i, ar := range aligned {
+		results[i] = MappedRead{Read: req.Reads[i].Name}
+		switch {
+		case ar.err != nil:
+			results[i].Error = ar.err.Error()
+		case ar.unmapped:
+			results[i].Unmapped = true
+		default:
+			results[i].Alignments = make([]MapAlignment, len(ar.mals))
+			for rank, m := range ar.mals {
+				results[i].Alignments[rank] = MapAlignment{
+					Rank: rank, RefStart: m.Candidate.Start, RefEnd: m.Candidate.End,
+					RevComp: m.Candidate.RevComp, ChainScore: m.Candidate.Score,
+					AlignResult: toAlignResult(m.Result, ar.cached[rank]),
+				}
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, MapAlignResponse{Ref: req.Ref, Results: results})
+}
+
+// alignedRead is one read's outcome from alignReads. Exactly one of err,
+// unmapped, or a non-empty mals is set; cached is index-aligned with
+// mals.
+type alignedRead struct {
+	err      error
+	unmapped bool
+	mals     []genasm.MappedAlignment
+	cached   []bool
+}
+
+// alignReads runs map+align for a batch of reads against one registered
+// reference: candidate location on the shared mapper, result-cache
+// lookups, and a single scheduler submission for every cache miss in the
+// batch (so the pairs coalesce with other requests' work). Per-read
+// problems (empty sequence, over the engine's query limit) land in that
+// read's err; the returned error is a whole-submission failure
+// (backpressure, shutdown, cancellation).
+func (s *Server) alignReads(ctx context.Context, ref *Reference, reads []ReadIn, all bool) ([]alignedRead, error) {
 	maxQ := s.eng.MaxQueryLen()
-	results := make([]MappedRead, len(req.Reads))
-	// One flat miss list across every read of the request: candidates the
-	// cache can't answer travel to the scheduler as a single submission,
-	// where they coalesce further with other requests' work.
+	out := make([]alignedRead, len(reads))
 	type slot struct{ read, aln int }
 	var missPairs []genasm.Pair
 	var missSlots []slot
 	var missKeys []string
 	caching := s.cache.Enabled()
-	for i, rd := range req.Reads {
-		results[i] = MappedRead{Read: rd.Name}
+	for i, rd := range reads {
 		if rd.Seq == "" {
-			results[i].Error = "empty read sequence"
+			out[i].err = errors.New("empty read sequence")
 			continue
 		}
 		if maxQ > 0 && len(rd.Seq) > maxQ {
-			results[i].Error = fmt.Sprintf("read length %d exceeds limit %d", len(rd.Seq), maxQ)
+			out[i].err = fmt.Errorf("read length %d exceeds limit %d", len(rd.Seq), maxQ)
 			continue
 		}
 		seq := []byte(rd.Seq)
 		cands := ref.Mapper().Candidates(seq)
 		if len(cands) == 0 {
 			s.metrics.readsNoCands.Add(1)
-			results[i].Unmapped = true
+			out[i].unmapped = true
 			continue
 		}
 		s.metrics.readsMapped.Add(1)
-		if !req.AllCandidates {
+		base := genasm.MappedAlignment{
+			ReadIndex:  i,
+			Read:       genasm.Read{Name: rd.Name, Seq: seq, Qual: []byte(rd.Qual)},
+			Candidates: len(cands),
+		}
+		if len(cands) > 1 {
+			base.SecondaryScore = cands[1].Score
+		}
+		if !all {
 			cands = cands[:1]
 		}
 		var rc []byte // lazily computed reverse complement
-		results[i].Alignments = make([]MapAlignment, len(cands))
+		out[i].mals = make([]genasm.MappedAlignment, len(cands))
+		out[i].cached = make([]bool, len(cands))
 		for rank, c := range cands {
 			q := seq
 			if c.RevComp {
@@ -345,16 +431,15 @@ func (s *Server) handleMapAlign(w http.ResponseWriter, r *http.Request) {
 				q = rc
 			}
 			region := ref.Mapper().Region(c)
-			results[i].Alignments[rank] = MapAlignment{
-				Rank: rank, RefStart: c.Start, RefEnd: c.End,
-				RevComp: c.RevComp, ChainScore: c.Score,
-			}
+			out[i].mals[rank] = base
+			out[i].mals[rank].Candidate, out[i].mals[rank].Rank = c, rank
 			var key string
 			if caching {
 				key = resultKey(s.fingerprint, region, q)
 				if res, ok := s.cache.Get(key); ok {
 					s.metrics.cacheHits.Add(1)
-					results[i].Alignments[rank].AlignResult = toAlignResult(res, true)
+					out[i].mals[rank].Result = res
+					out[i].cached[rank] = true
 					continue
 				}
 				s.metrics.cacheMisses.Add(1)
@@ -365,18 +450,105 @@ func (s *Server) handleMapAlign(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(missPairs) > 0 {
-		aligned, err := s.sched.Submit(r.Context(), missPairs)
+		aligned, err := s.sched.Submit(ctx, missPairs)
 		if err != nil {
-			writeSchedError(w, err)
-			return
+			return nil, err
 		}
 		for j, res := range aligned {
 			s.cache.Put(missKeys[j], res)
 			sl := missSlots[j]
-			results[sl.read].Alignments[sl.aln].AlignResult = toAlignResult(res, false)
+			out[sl.read].mals[sl.aln].Result = res
 		}
 	}
-	writeJSON(w, http.StatusOK, MapAlignResponse{Ref: req.Ref, Results: results})
+	return out, nil
+}
+
+// streamChunk is how many reads the streaming /map-align path maps and
+// aligns per scheduler submission: records for finished chunks flush to
+// the client while later chunks are still aligning, bounding both memory
+// and time-to-first-record, while each chunk still coalesces in the
+// scheduler with other requests' work.
+const streamChunk = 32
+
+// TrailerStatus is the HTTP trailer set by streaming /map-align
+// responses: "ok" after a complete stream, otherwise the terminal error.
+// Trailers are the only error channel once records (status 200) have
+// started flowing.
+const TrailerStatus = "X-Genasm-Status"
+
+// streamMapAlign answers /map-align with incrementally streamed SAM or
+// PAF records instead of one buffered JSON body. Reads flow through in
+// chunks of streamChunk; each chunk's records are flushed as soon as the
+// chunk's alignments return. Reads the pipeline rejects (empty sequence,
+// over the query limit) are skipped: SAM/PAF have no error record, so
+// their count travels in the TrailerStatus trailer. A scheduler failure
+// before the first flush still gets a real HTTP error status; after
+// that, the trailer is the only error channel.
+func (s *Server) streamMapAlign(w http.ResponseWriter, r *http.Request, ref *Reference, req MapAlignRequest, format samfmt.Format) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Trailer", TrailerStatus)
+	sref := samfmt.Ref{Name: ref.Name, Length: ref.Length}
+	// cw counts the body bytes that actually reached the client: until
+	// the first one, a failure can still use a real HTTP status code
+	// (a PAF stream whose early chunks are all unmapped writes nothing).
+	cw := &countingWriter{w: w}
+	sw := samfmt.NewWriter(cw, format, []samfmt.Ref{sref}, samfmt.Program{
+		Name: "genasm-serve", CommandLine: "POST /map-align?format=" + string(format),
+	})
+	flusher, _ := w.(http.Flusher)
+	readErrs := 0
+	for start := 0; start < len(req.Reads); start += streamChunk {
+		chunk := req.Reads[start:min(start+streamChunk, len(req.Reads))]
+		aligned, err := s.alignReads(r.Context(), ref, chunk, req.AllCandidates)
+		if err != nil {
+			if cw.n == 0 {
+				// Nothing has been written: answer with a real status
+				// code (429 backpressure, 503 shutdown, ...) so clients
+				// that never read trailers still see the failure.
+				w.Header().Del("Trailer")
+				writeSchedError(w, err)
+				return
+			}
+			// Mid-stream: too late for a status code, the trailer is the
+			// error channel.
+			w.Header().Set(TrailerStatus, "error: "+err.Error())
+			sw.Flush()
+			return
+		}
+		for i, ar := range aligned {
+			if ar.err != nil {
+				readErrs++
+				continue
+			}
+			if ar.unmapped {
+				_ = sw.Write(sref, genasm.MappedAlignment{
+					Read:     genasm.Read{Name: chunk[i].Name, Seq: []byte(chunk[i].Seq), Qual: []byte(chunk[i].Qual)},
+					Unmapped: true,
+				})
+				continue
+			}
+			for _, m := range ar.mals {
+				if err := sw.Write(sref, m); err != nil {
+					w.Header().Set(TrailerStatus, "error: "+err.Error())
+					sw.Flush()
+					return
+				}
+			}
+		}
+		if err := sw.Flush(); err != nil {
+			return // client went away; nothing left to signal
+		}
+		// Only force bytes (and thus the 200 status line) out once there
+		// are bytes: an empty flush would commit the headers prematurely.
+		if cw.n > 0 && flusher != nil {
+			flusher.Flush()
+		}
+	}
+	status := "ok"
+	if readErrs > 0 {
+		status = fmt.Sprintf("ok; skipped_reads=%d", readErrs)
+	}
+	w.Header().Set(TrailerStatus, status)
 }
 
 func (s *Server) handleRefAdd(w http.ResponseWriter, r *http.Request) {
@@ -477,6 +649,20 @@ func writeSchedError(w http.ResponseWriter, err error) {
 	default:
 		httpError(w, http.StatusInternalServerError, "%v", err)
 	}
+}
+
+// countingWriter counts the bytes written through it; the streaming
+// /map-align path uses the count to decide whether an HTTP status code
+// is still available for error reporting.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -445,3 +445,256 @@ func TestServerClose(t *testing.T) {
 		t.Fatalf("status %d (%s), want 503", status, body)
 	}
 }
+
+// streamMapAlignBody POSTs a /map-align request and returns status, the
+// raw streamed body, and the response trailers (valid only after the
+// body has been fully read).
+func streamMapAlignBody(t *testing.T, ts *httptest.Server, url string, req MapAlignRequest) (int, string, http.Header, string) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Trailer, resp.Header.Get("Content-Type")
+}
+
+// TestMapAlignStreamSAM: /map-align?format=sam streams spec-shaped SAM
+// whose records agree with the library's own MapAlign pipeline, reports
+// unmapped reads as FLAG 4 records, and signals completion (plus skipped
+// unalignable reads) through the X-Genasm-Status trailer.
+func TestMapAlignStreamSAM(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Scheduler: SchedulerConfig{MaxDelay: time.Millisecond}})
+	ref := genasm.GenerateGenome(150_000, 50)
+	reads, err := genasm.SimulateLongReads(ref, 8, 1500, 0.1, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/refs",
+		RefAddRequest{Name: "genome", Sequence: string(ref)}); status != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", status, body)
+	}
+
+	maReq := MapAlignRequest{Ref: "genome"}
+	for _, rd := range reads {
+		maReq.Reads = append(maReq.Reads, ReadIn{Name: rd.Name, Seq: string(rd.Seq), Qual: string(rd.Qual)})
+	}
+	maReq.Reads = append(maReq.Reads,
+		ReadIn{Name: "junk", Seq: strings.Repeat("ACGTGTCA", 40)}, // likely unmapped
+		ReadIn{Name: "empty", Seq: ""},                            // skipped: SAM has no error record
+	)
+	status, body, trailer, ctype := streamMapAlignBody(t, ts, ts.URL+"/map-align?format=sam", maReq)
+	if status != http.StatusOK {
+		t.Fatalf("stream status %d: %s", status, body)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("content type %q", ctype)
+	}
+	if got := trailer.Get(TrailerStatus); got != "ok; skipped_reads=1" {
+		t.Fatalf("trailer %q", got)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if !strings.HasPrefix(lines[0], "@HD\tVN:1.6") {
+		t.Fatalf("first line %q", lines[0])
+	}
+	wantSQ := fmt.Sprintf("@SQ\tSN:genome\tLN:%d", len(ref))
+	if !strings.Contains(body, wantSQ) {
+		t.Fatalf("missing %q", wantSQ)
+	}
+
+	// Reference pipeline for record-level agreement.
+	reg, _ := srv.Registry().Get("genome")
+	eng, err := genasm.NewEngine(genasm.WithMapper(reg.Mapper()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in []genasm.Read
+	for _, rd := range reads {
+		in = append(in, genasm.Read{Name: rd.Name, Seq: rd.Seq})
+	}
+	out, err := eng.MapAlign(context.Background(), genasm.StreamReads(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]genasm.MappedAlignment{}
+	for m := range out {
+		if m.Err == nil && !m.Unmapped {
+			want[m.Read.Name] = m
+		}
+	}
+	records := 0
+	for _, line := range lines {
+		if strings.HasPrefix(line, "@") {
+			continue
+		}
+		records++
+		f := strings.Split(line, "\t")
+		if len(f) < 11 {
+			t.Fatalf("short record %q", line)
+		}
+		if f[0] == "junk" {
+			if f[1] != "4" {
+				t.Fatalf("junk read not FLAG 4: %q", line)
+			}
+			continue
+		}
+		w, ok := want[f[0]]
+		if !ok {
+			if f[1] == "4" {
+				continue
+			}
+			t.Fatalf("server mapped %q, library did not", f[0])
+		}
+		if f[5] != w.Result.Cigar {
+			t.Fatalf("read %s: CIGAR %q != library %q", f[0], f[5], w.Result.Cigar)
+		}
+		if wantNM := fmt.Sprintf("NM:i:%d", w.Result.Distance); !strings.Contains(line, wantNM) {
+			t.Fatalf("read %s: missing %s", f[0], wantNM)
+		}
+		if len(f[9]) != len(f[10]) {
+			t.Fatalf("read %s: SEQ/QUAL length mismatch", f[0])
+		}
+	}
+	// Every read except the skipped empty one yields exactly one record.
+	if records != len(maReq.Reads)-1 {
+		t.Fatalf("%d records for %d reads", records, len(maReq.Reads)-1)
+	}
+}
+
+// TestMapAlignStreamPAF: format negotiation through the JSON body, PAF
+// record shape, and chunked streaming across a >streamChunk read count.
+func TestMapAlignStreamPAF(t *testing.T) {
+	_, ts := newTestServer(t, Config{Scheduler: SchedulerConfig{MaxDelay: time.Millisecond}})
+	ref := genasm.GenerateGenome(60_000, 30)
+	reads, err := genasm.SimulateLongReads(ref, streamChunk+8, 400, 0.08, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/refs",
+		RefAddRequest{Name: "g", Sequence: string(ref)}); status != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", status, body)
+	}
+	maReq := MapAlignRequest{Ref: "g", Format: "paf"}
+	for _, rd := range reads {
+		maReq.Reads = append(maReq.Reads, ReadIn{Name: rd.Name, Seq: string(rd.Seq)})
+	}
+	status, body, trailer, _ := streamMapAlignBody(t, ts, ts.URL+"/map-align", maReq)
+	if status != http.StatusOK {
+		t.Fatalf("stream status %d: %s", status, body)
+	}
+	if got := trailer.Get(TrailerStatus); got != "ok" {
+		t.Fatalf("trailer %q", got)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) < len(reads)*8/10 {
+		t.Fatalf("only %d PAF lines for %d reads", len(lines), len(reads))
+	}
+	for _, line := range lines {
+		f := strings.Split(line, "\t")
+		if len(f) < 12 {
+			t.Fatalf("short PAF line %q", line)
+		}
+		if f[4] != "+" && f[4] != "-" {
+			t.Fatalf("bad strand in %q", line)
+		}
+		if f[5] != "g" {
+			t.Fatalf("bad target name in %q", line)
+		}
+		if !strings.Contains(line, "cg:Z:") {
+			t.Fatalf("missing cg tag in %q", line)
+		}
+	}
+}
+
+// TestMapAlignStreamErrors: unknown formats 400 up front; the query
+// parameter wins over the body field.
+func TestMapAlignStreamErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Scheduler: SchedulerConfig{MaxDelay: time.Millisecond}})
+	ref := genasm.GenerateGenome(40_000, 3)
+	if status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/refs",
+		RefAddRequest{Name: "g", Sequence: string(ref)}); status != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", status, body)
+	}
+	req := MapAlignRequest{Ref: "g", Reads: []ReadIn{{Name: "r", Seq: string(ref[100:400])}}}
+	if status, _ := doJSON(t, ts.Client(), "POST", ts.URL+"/map-align?format=bam", req); status != http.StatusBadRequest {
+		t.Fatalf("bad format status %d, want 400", status)
+	}
+	// Body says paf, query says sam: SAM header must appear.
+	req.Format = "paf"
+	status, body, _, _ := streamMapAlignBody(t, ts, ts.URL+"/map-align?format=sam", req)
+	if status != http.StatusOK || !strings.HasPrefix(body, "@HD") {
+		t.Fatalf("query-param precedence: status %d body %q", status, body)
+	}
+}
+
+// TestMapAlignStreamFirstChunkError: a scheduler failure before any
+// record has been flushed must surface as a real HTTP error status, not
+// a 200 with a trailer nobody reads.
+func TestMapAlignStreamFirstChunkError(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Scheduler: SchedulerConfig{MaxDelay: time.Millisecond}, CacheSize: -1})
+	ref := genasm.GenerateGenome(40_000, 3)
+	if status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/refs",
+		RefAddRequest{Name: "g", Sequence: string(ref)}); status != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", status, body)
+	}
+	srv.Close() // scheduler now refuses work
+	req := MapAlignRequest{Ref: "g", Reads: []ReadIn{{Name: "r", Seq: string(ref[100:400])}}}
+	status, body, _, ctype := streamMapAlignBody(t, ts, ts.URL+"/map-align?format=sam", req)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", status, body)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("error content type %q", ctype)
+	}
+}
+
+// TestHandlerForwardsFlush: the metrics wrapper must not swallow
+// http.Flusher, or streamed records sit in net/http's buffer until the
+// handler returns.
+func TestHandlerForwardsFlush(t *testing.T) {
+	rec := httptest.NewRecorder()
+	var w http.ResponseWriter = &statusRecorder{ResponseWriter: rec, status: http.StatusOK}
+	f, ok := w.(http.Flusher)
+	if !ok {
+		t.Fatal("statusRecorder does not implement http.Flusher")
+	}
+	f.Flush()
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+}
+
+// TestMapAlignStreamErrorAfterEmptyChunks: a PAF stream whose early
+// chunks write no records (all unmapped) has committed no bytes, so a
+// later scheduler failure must still surface as a real HTTP status.
+func TestMapAlignStreamErrorAfterEmptyChunks(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Scheduler: SchedulerConfig{MaxDelay: time.Millisecond}, CacheSize: -1})
+	ref := genasm.GenerateGenome(40_000, 3)
+	foreign := genasm.GenerateGenome(80_000, 99) // unrelated: its reads map nowhere
+	if status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/refs",
+		RefAddRequest{Name: "g", Sequence: string(ref)}); status != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", status, body)
+	}
+	// First chunk: streamChunk unmapped reads (no scheduler submission,
+	// no PAF records). Second chunk: a mappable read that needs the
+	// (closed) scheduler.
+	req := MapAlignRequest{Ref: "g", Format: "paf"}
+	for i := 0; i < streamChunk; i++ {
+		seq := foreign[i*500 : i*500+300]
+		req.Reads = append(req.Reads, ReadIn{Name: fmt.Sprintf("alien%d", i), Seq: string(seq)})
+	}
+	req.Reads = append(req.Reads, ReadIn{Name: "real", Seq: string(ref[1000:1500])})
+	srv.Close()
+	status, body, _, _ := streamMapAlignBody(t, ts, ts.URL+"/map-align", req)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", status, body)
+	}
+}
