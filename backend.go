@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"genasm/internal/cigar"
 	"genasm/internal/dna"
@@ -11,13 +12,12 @@ import (
 	"genasm/internal/gpualign"
 )
 
-// backend executes alignments for an Engine. Implementations must be safe
-// for concurrent use and must produce bit-identical Results for the same
-// configuration (the paper's CPU/GPU equivalence claim).
-type backend interface {
-	align(ctx context.Context, p Pair) (Result, error)
-	alignBatch(ctx context.Context, pairs []Pair) ([]Result, error)
-	gpuStats() (GPUStats, bool)
+// singlePairAligner is an optional fast path a Backend may implement:
+// the Engine's one-pair entry points (Align, single-candidate MapAlign
+// items) use it to skip batch assembly. Purely an optimization —
+// alignOne must be observably identical to AlignBatch of one pair.
+type singlePairAligner interface {
+	alignOne(ctx context.Context, p Pair) (Result, error)
 }
 
 // cpuBackend pools per-goroutine Aligners (the kernels keep scratch, so
@@ -26,6 +26,9 @@ type backend interface {
 type cpuBackend struct {
 	threads int
 	pool    sync.Pool
+
+	batches atomic.Uint64
+	pairs   atomic.Uint64
 }
 
 func newCPUBackend(cfg Config, threads int) (*cpuBackend, error) {
@@ -43,20 +46,37 @@ func newCPUBackend(cfg Config, threads int) (*cpuBackend, error) {
 	return b, nil
 }
 
-func (b *cpuBackend) gpuStats() (GPUStats, bool) { return GPUStats{}, false }
+func (b *cpuBackend) Capabilities() Capabilities {
+	// A few pairs per worker amortize pool churn and smooth out per-pair
+	// length variance across the fan-out.
+	return Capabilities{PreferredBatch: 4 * b.threads, Parallelism: b.threads}
+}
 
-func (b *cpuBackend) align(ctx context.Context, p Pair) (Result, error) {
+func (b *cpuBackend) Stats() BackendStats {
+	return BackendStats{Name: "cpu", Batches: b.batches.Load(), Pairs: b.pairs.Load()}
+}
+
+func (b *cpuBackend) alignOne(ctx context.Context, p Pair) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
+	// The single-pair fast path counts toward Pairs only: Batches stays
+	// a measure of AlignBatch executions, so pairs-per-batch ratios from
+	// Stats keep meaning batching efficiency.
+	b.pairs.Add(1)
 	a := b.pool.Get().(*Aligner)
 	defer b.pool.Put(a)
 	return a.Align(p.Query, p.Ref)
 }
 
-func (b *cpuBackend) alignBatch(ctx context.Context, pairs []Pair) ([]Result, error) {
+func (b *cpuBackend) AlignBatch(ctx context.Context, _ Config, pairs []Pair) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b.batches.Add(1)
+	b.pairs.Add(uint64(len(pairs)))
 	if len(pairs) == 0 {
-		return []Result{}, ctx.Err()
+		return []Result{}, nil
 	}
 	threads := min(b.threads, len(pairs))
 	results := make([]Result, len(pairs))
@@ -132,6 +152,9 @@ type gpuBackend struct {
 	gcfg gpualign.Config
 	pen  cigar.AffinePenalties
 
+	batches atomic.Uint64
+	pairs   atomic.Uint64
+
 	mu   sync.Mutex
 	last GPUStats
 	has  bool
@@ -163,24 +186,30 @@ func newGPUBackend(cfg Config, blocksPerSM int) (*gpuBackend, error) {
 	return &gpuBackend{gcfg: gcfg, pen: cfg.penalties()}, nil
 }
 
-func (b *gpuBackend) gpuStats() (GPUStats, bool) {
+func (b *gpuBackend) Capabilities() Capabilities {
+	// One full wave of resident thread blocks (one pair per block) is the
+	// launch size that saturates the device without queueing extra waves.
+	wave := b.gcfg.Device.SMs * b.gcfg.TargetBlocksPerSM
+	return Capabilities{PreferredBatch: wave, Parallelism: wave}
+}
+
+func (b *gpuBackend) Stats() BackendStats {
+	st := BackendStats{Name: "gpu", Batches: b.batches.Load(), Pairs: b.pairs.Load()}
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.last, b.has
-}
-
-func (b *gpuBackend) align(ctx context.Context, p Pair) (Result, error) {
-	res, err := b.alignBatch(ctx, []Pair{p})
-	if err != nil {
-		return Result{}, err
+	if b.has {
+		last := b.last
+		st.GPU = &last
 	}
-	return res[0], nil
+	b.mu.Unlock()
+	return st
 }
 
-func (b *gpuBackend) alignBatch(ctx context.Context, pairs []Pair) ([]Result, error) {
+func (b *gpuBackend) AlignBatch(ctx context.Context, _ Config, pairs []Pair) ([]Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	b.batches.Add(1)
+	b.pairs.Add(uint64(len(pairs)))
 	jobs := make([]gpualign.Pair, len(pairs))
 	for i, p := range pairs {
 		jobs[i] = gpualign.Pair{Query: dna.EncodeSeq(p.Query), Ref: dna.EncodeSeq(p.Ref)}

@@ -122,15 +122,21 @@ func BenchmarkE2MemoryAccesses(b *testing.B) {
 	b.ReportMetric(float64(unimp.Accesses())/float64(imp.Accesses()), "access-reduction-x")
 }
 
-// BenchmarkEngineAlignBatch times the public Engine API on both backends
-// over the shared workload — the end-to-end path production callers hit
-// (pooled aligners, context checks, encode included).
+// benchBackends are the registered backend names the engine benchmarks
+// sweep: both leaves plus the sharding composite, all through the public
+// registry API.
+var benchBackends = []string{"cpu", "gpu", "multi(cpu,gpu)"}
+
+// BenchmarkEngineAlignBatch times the public Engine API on every
+// built-in backend over the shared workload — the end-to-end path
+// production callers hit (pooled aligners, context checks, encode
+// included; for multi, the capability-weighted shard split).
 func BenchmarkEngineAlignBatch(b *testing.B) {
 	w := benchWorkload(b)
 	pairs := w.PublicPairs()
-	for _, kind := range []genasm.BackendKind{genasm.CPU, genasm.GPU} {
-		b.Run(kind.String(), func(b *testing.B) {
-			eng, err := genasm.NewEngine(genasm.WithBackend(kind))
+	for _, name := range benchBackends {
+		b.Run(name, func(b *testing.B) {
+			eng, err := genasm.NewEngine(genasm.WithBackendName(name))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -140,7 +146,11 @@ func BenchmarkEngineAlignBatch(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.StopTimer()
 			reportPairs(b, w)
+			if st := eng.BackendStats(); st.Shards > 0 {
+				b.ReportMetric(float64(st.Shards)/float64(st.Batches), "shards/batch")
+			}
 		})
 	}
 }
@@ -464,10 +474,11 @@ func BenchmarkSchedulerCoalesce(b *testing.B) {
 
 // benchJSONPath enables the machine-readable benchmark mode:
 //
-//	go test -run TestBenchJSON -benchjson BENCH_1.json .
+//	go test -run TestBenchJSON -benchjson BENCH_2.json .
 //
-// writes ns/op and alignments/sec for the CPU and GPU backends and the
-// serving scheduler, so the perf trajectory is tracked across PRs.
+// writes ns/op and alignments/sec for every built-in backend (cpu, gpu
+// and the multi sharding composite) and the serving scheduler, so the
+// perf trajectory is tracked across PRs.
 var benchJSONPath = flag.String("benchjson", "", "write machine-readable benchmark results to this file")
 
 func TestBenchJSON(t *testing.T) {
@@ -481,10 +492,11 @@ func TestBenchJSON(t *testing.T) {
 		Name             string  `json:"name"`
 		NsPerOp          int64   `json:"ns_per_op"`
 		AlignmentsPerSec float64 `json:"alignments_per_sec"`
+		ShardsPerBatch   float64 `json:"shards_per_batch,omitempty"`
 	}
 	var entries []entry
-	for _, kind := range []genasm.BackendKind{genasm.CPU, genasm.GPU} {
-		eng, err := genasm.NewEngine(genasm.WithBackend(kind))
+	for _, name := range benchBackends {
+		eng, err := genasm.NewEngine(genasm.WithBackendName(name))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -495,11 +507,15 @@ func TestBenchJSON(t *testing.T) {
 				}
 			}
 		})
-		entries = append(entries, entry{
-			Name:             "EngineAlignBatch/" + kind.String(),
+		e := entry{
+			Name:             "EngineAlignBatch/" + name,
 			NsPerOp:          r.NsPerOp(),
 			AlignmentsPerSec: float64(len(pairs)) * float64(r.N) / r.T.Seconds(),
-		})
+		}
+		if st := eng.BackendStats(); st.Shards > 0 && st.Batches > 0 {
+			e.ShardsPerBatch = float64(st.Shards) / float64(st.Batches)
+		}
+		entries = append(entries, e)
 	}
 	r := testing.Benchmark(func(b *testing.B) { benchSchedulerSubmit(b, pairs) })
 	entries = append(entries, entry{

@@ -30,6 +30,7 @@ func main() {
 		refPath   = flag.String("ref", "", "reference FASTA (required)")
 		readsPath = flag.String("reads", "", "reads FASTA/FASTQ (required)")
 		algo      = flag.String("algo", "genasm", "algorithm: genasm | genasm-unimproved | edlib | ksw2 | swg")
+		backend   = flag.String("backend", "cpu", genasm.BackendUsage())
 		outPath   = flag.String("out", "-", "output path (- = stdout)")
 		allCands  = flag.Bool("all", false, "report every candidate location, not just the best")
 	)
@@ -41,17 +42,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	die(cliutil.WriteAtomic(*outPath, func(out io.Writer) error {
-		return runCtx(ctx, *refPath, *readsPath, *algo, *allCands, out)
+		return runCtx(ctx, *refPath, *readsPath, *algo, *backend, *allCands, out)
 	}))
 }
 
 // run executes the map-and-align pipeline; factored out of main so the
 // whole CLI path is testable.
-func run(refPath, readsPath, algo string, allCands bool, out io.Writer) error {
-	return runCtx(context.Background(), refPath, readsPath, algo, allCands, out)
+func run(refPath, readsPath, algo, backend string, allCands bool, out io.Writer) error {
+	return runCtx(context.Background(), refPath, readsPath, algo, backend, allCands, out)
 }
 
-func runCtx(ctx context.Context, refPath, readsPath, algo string, allCands bool, out io.Writer) error {
+func runCtx(ctx context.Context, refPath, readsPath, algo, backend string, allCands bool, out io.Writer) error {
 	// Early returns (a per-read error mid-stream) must tear down the
 	// MapAlign pipeline rather than leak its goroutines.
 	ctx, cancel := context.WithCancel(ctx)
@@ -87,6 +88,7 @@ func runCtx(ctx context.Context, refPath, readsPath, algo string, allCands bool,
 		}
 		eng, err := genasm.NewEngine(
 			genasm.WithAlgorithm(genasm.Algorithm(algo)),
+			genasm.WithBackendName(backend),
 			genasm.WithMapper(mapper),
 			genasm.WithAllCandidates(allCands),
 		)

@@ -65,7 +65,7 @@ func TestRunEndToEnd(t *testing.T) {
 	refPath, fqPath, _, reads := writeTestData(t, dir)
 
 	var out bytes.Buffer
-	if err := run(refPath, fqPath, "genasm", false, &out); err != nil {
+	if err := run(refPath, fqPath, "genasm", "cpu", false, &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -100,10 +100,10 @@ func TestRunFASTAReadsAndAllCandidates(t *testing.T) {
 	dir := t.TempDir()
 	refPath, _, faPath, reads := writeTestData(t, dir)
 	var best, all bytes.Buffer
-	if err := run(refPath, faPath, "edlib", false, &best); err != nil {
+	if err := run(refPath, faPath, "edlib", "cpu", false, &best); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(refPath, faPath, "edlib", true, &all); err != nil {
+	if err := run(refPath, faPath, "edlib", "cpu", true, &all); err != nil {
 		t.Fatal(err)
 	}
 	nBest := strings.Count(best.String(), "\n")
@@ -117,17 +117,17 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	dir := t.TempDir()
 	refPath, fqPath, _, _ := writeTestData(t, dir)
 	var out bytes.Buffer
-	if err := run(refPath, fqPath, "not-an-algo", false, &out); err == nil {
+	if err := run(refPath, fqPath, "not-an-algo", "cpu", false, &out); err == nil {
 		t.Fatal("accepted unknown algorithm")
 	}
-	if err := run(filepath.Join(dir, "missing.fa"), fqPath, "genasm", false, &out); err == nil {
+	if err := run(filepath.Join(dir, "missing.fa"), fqPath, "genasm", "cpu", false, &out); err == nil {
 		t.Fatal("accepted missing reference")
 	}
 	empty := filepath.Join(dir, "empty.fa")
 	if err := os.WriteFile(empty, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(empty, fqPath, "genasm", false, &out); err == nil {
+	if err := run(empty, fqPath, "genasm", "cpu", false, &out); err == nil {
 		t.Fatal("accepted empty reference")
 	}
 }
@@ -151,5 +151,36 @@ func TestLoadReadsFormats(t *testing.T) {
 	}
 	if _, err := readsim.LoadReadsFile(filepath.Join(dir, "nope.fq")); err == nil {
 		t.Fatal("accepted missing reads file")
+	}
+}
+
+// TestRunBackendSelection: any registered backend name resolves through
+// the engine registry and produces identical records; an unknown name
+// fails with the valid names listed.
+func TestRunBackendSelection(t *testing.T) {
+	dir := t.TempDir()
+	refPath, fqPath, _, _ := writeTestData(t, dir)
+	var cpu, gpu, multi bytes.Buffer
+	if err := run(refPath, fqPath, "genasm", "cpu", false, &cpu); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(refPath, fqPath, "genasm", "gpu", false, &gpu); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(refPath, fqPath, "genasm", "multi(cpu,gpu)", false, &multi); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.String() != gpu.String() || cpu.String() != multi.String() {
+		t.Fatal("backends emitted different records for the same input")
+	}
+	var out bytes.Buffer
+	err := run(refPath, fqPath, "genasm", "tpu", false, &out)
+	if err == nil {
+		t.Fatal("accepted unknown backend")
+	}
+	for _, want := range []string{"tpu", "cpu", "gpu", "multi"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("backend error %q does not list %q", err, want)
+		}
 	}
 }

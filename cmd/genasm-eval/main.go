@@ -20,7 +20,9 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 
+	"genasm"
 	"genasm/internal/eval"
 )
 
@@ -32,10 +34,12 @@ func main() {
 		errRate   = flag.Float64("error", 0.10, "mean read error rate")
 		seed      = flag.Int64("seed", 7, "workload seed")
 		threads   = flag.Int("threads", runtime.GOMAXPROCS(0), "CPU threads for E3/A1-A3")
-		maxPairs  = flag.Int("max-pairs", 0, "cap candidate pairs (0 = all)")
-		quick     = flag.Bool("quick", false, "small workload for a fast smoke run")
-		withSWG   = flag.Bool("swg", false, "include the quadratic SWG reference in E3 (slow)")
-		skipSlow  = flag.Bool("skip-ablations", false, "skip A1-A3")
+		backend   = flag.String("backend", "multi(cpu,gpu)",
+			"engine backend for E5, any registered name: "+strings.Join(genasm.Backends(), " | "))
+		maxPairs = flag.Int("max-pairs", 0, "cap candidate pairs (0 = all)")
+		quick    = flag.Bool("quick", false, "small workload for a fast smoke run")
+		withSWG  = flag.Bool("swg", false, "include the quadratic SWG reference in E3 (slow)")
+		skipSlow = flag.Bool("skip-ablations", false, "skip A1-A3")
 	)
 	flag.Parse()
 
@@ -75,6 +79,10 @@ func main() {
 	t4, err := eval.E4GPU(ctx, w, times)
 	die(err)
 	fmt.Println(t4.Format())
+
+	t5, err := eval.E5Backend(ctx, w, *backend, *threads)
+	die(err)
+	fmt.Println(t5.Format())
 
 	if *skipSlow {
 		return

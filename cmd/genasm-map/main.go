@@ -70,7 +70,7 @@ func main() {
 	flag.StringVar(&o.outPath, "out", o.outPath, "output path (- = stdout), written atomically")
 	flag.StringVar(&o.format, "format", o.format, "output format: sam | paf")
 	flag.StringVar(&o.algo, "algo", o.algo, "algorithm: genasm | genasm-unimproved | edlib | ksw2 | swg")
-	flag.StringVar(&o.backend, "backend", o.backend, "execution backend: cpu | gpu")
+	flag.StringVar(&o.backend, "backend", o.backend, genasm.BackendUsage())
 	flag.IntVar(&o.threads, "threads", 0, "worker threads (0 = GOMAXPROCS)")
 	flag.IntVar(&o.maxQuery, "max-query", 0, "skip reads longer than this with a warning (0 = unlimited)")
 	flag.BoolVar(&o.all, "all", false, "align every candidate location (secondary records), not just the best")
@@ -92,20 +92,13 @@ func main() {
 }
 
 // engineOptions translates the flags into genasm Engine options for one
-// reference's mapper.
-func (o options) engineOptions(mapper *genasm.Mapper) ([]genasm.Option, error) {
-	var kind genasm.BackendKind
-	switch o.backend {
-	case "cpu":
-		kind = genasm.CPU
-	case "gpu":
-		kind = genasm.GPU
-	default:
-		return nil, fmt.Errorf("unknown backend %q (want cpu or gpu)", o.backend)
-	}
+// reference's mapper. The backend name is resolved by NewEngine through
+// the registry; an unknown name fails there with every valid name in
+// the error.
+func (o options) engineOptions(mapper *genasm.Mapper) []genasm.Option {
 	opts := []genasm.Option{
 		genasm.WithAlgorithm(genasm.Algorithm(o.algo)),
-		genasm.WithBackend(kind),
+		genasm.WithBackendName(o.backend),
 		genasm.WithMapper(mapper),
 		genasm.WithAllCandidates(o.all),
 	}
@@ -115,7 +108,7 @@ func (o options) engineOptions(mapper *genasm.Mapper) ([]genasm.Option, error) {
 	if o.maxQuery > 0 {
 		opts = append(opts, genasm.WithMaxQueryLen(o.maxQuery))
 	}
-	return opts, nil
+	return opts
 }
 
 // run executes the full mapping pipeline against out, warning about
@@ -172,11 +165,7 @@ func run(ctx context.Context, o options, out, logw io.Writer) error {
 		if err != nil {
 			return err
 		}
-		engOpts, err := o.engineOptions(mapper)
-		if err != nil {
-			return err
-		}
-		eng, err := genasm.NewEngine(engOpts...)
+		eng, err := genasm.NewEngine(o.engineOptions(mapper)...)
 		if err != nil {
 			return err
 		}

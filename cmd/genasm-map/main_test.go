@@ -237,16 +237,20 @@ func TestAllCandidatesEmitsSecondary(t *testing.T) {
 	}
 }
 
-// TestBackendsAgree pins CPU/GPU equivalence end-to-end: the two
-// backends must emit byte-identical SAM.
+// TestBackendsAgree pins backend equivalence end-to-end: the GPU
+// backend and the multi(cpu,gpu) sharding composite must emit SAM
+// byte-identical to the CPU backend's.
 func TestBackendsAgree(t *testing.T) {
 	dir := t.TempDir()
 	refPath, fqPath, _, _ := writeTestData(t, dir, 6, 800, 41)
 	cpuOpts := testOptions(refPath, fqPath, "sam")
-	gpuOpts := cpuOpts
-	gpuOpts.backend = "gpu"
-	if cpu, gpu := mapToString(t, cpuOpts), mapToString(t, gpuOpts); cpu != gpu {
-		t.Fatal("CPU and GPU backends emitted different SAM")
+	cpu := mapToString(t, cpuOpts)
+	for _, backend := range []string{"gpu", "multi(cpu,gpu)"} {
+		o := cpuOpts
+		o.backend = backend
+		if got := mapToString(t, o); got != cpu {
+			t.Fatalf("backend %s emitted SAM different from cpu", backend)
+		}
 	}
 }
 

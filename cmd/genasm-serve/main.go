@@ -52,7 +52,7 @@ func defaultOptions() options {
 		addr:       ":8080",
 		backend:    "cpu",
 		algo:       "genasm",
-		batch:      64,
+		batch:      0, // 0 = the backend's preferred batch size
 		batchDelay: 2 * time.Millisecond,
 		queue:      4096,
 		cacheSize:  4096,
@@ -68,20 +68,13 @@ func parseRefFlag(v string) (refSpec, error) {
 	return refSpec{name: name, path: path}, nil
 }
 
-// engineOptions translates the flags into genasm Engine options.
-func (o options) engineOptions() ([]genasm.Option, error) {
-	var kind genasm.BackendKind
-	switch o.backend {
-	case "cpu":
-		kind = genasm.CPU
-	case "gpu":
-		kind = genasm.GPU
-	default:
-		return nil, fmt.Errorf("unknown backend %q (want cpu or gpu)", o.backend)
-	}
+// engineOptions translates the flags into genasm Engine options. The
+// backend name is resolved by NewEngine through the registry; an unknown
+// name fails server.New with every valid name in the error.
+func (o options) engineOptions() []genasm.Option {
 	opts := []genasm.Option{
 		genasm.WithAlgorithm(genasm.Algorithm(o.algo)),
-		genasm.WithBackend(kind),
+		genasm.WithBackendName(o.backend),
 	}
 	if o.threads > 0 {
 		opts = append(opts, genasm.WithThreads(o.threads))
@@ -89,17 +82,13 @@ func (o options) engineOptions() ([]genasm.Option, error) {
 	if o.maxQuery > 0 {
 		opts = append(opts, genasm.WithMaxQueryLen(o.maxQuery))
 	}
-	return opts, nil
+	return opts
 }
 
 // buildServer assembles the server and preloads the -ref references.
 func buildServer(o options) (*server.Server, error) {
-	engOpts, err := o.engineOptions()
-	if err != nil {
-		return nil, err
-	}
 	srv, err := server.New(server.Config{
-		EngineOptions: engOpts,
+		EngineOptions: o.engineOptions(),
 		Scheduler: server.SchedulerConfig{
 			MaxBatch: o.batch,
 			MaxDelay: o.batchDelay,
@@ -144,7 +133,7 @@ func run(ctx context.Context, o options, logw io.Writer, ready func(addr string)
 		return err
 	}
 	fmt.Fprintf(logw, "genasm-serve: listening on %s (backend=%s, refs=%d)\n",
-		ln.Addr(), srv.Engine().Backend(), srv.Registry().Len())
+		ln.Addr(), srv.Engine().BackendName(), srv.Registry().Len())
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -174,11 +163,11 @@ func run(ctx context.Context, o options, logw io.Writer, ready func(addr string)
 func main() {
 	o := defaultOptions()
 	flag.StringVar(&o.addr, "addr", o.addr, "listen address")
-	flag.StringVar(&o.backend, "backend", o.backend, "execution backend: cpu | gpu")
+	flag.StringVar(&o.backend, "backend", o.backend, genasm.BackendUsage())
 	flag.StringVar(&o.algo, "algo", o.algo, "algorithm: genasm | genasm-unimproved | edlib | ksw2 | swg")
 	flag.IntVar(&o.threads, "threads", 0, "CPU worker threads (0 = GOMAXPROCS)")
 	flag.IntVar(&o.maxQuery, "max-query", 0, "reject queries longer than this (0 = unlimited)")
-	flag.IntVar(&o.batch, "batch", o.batch, "flush a backend batch at this many pending pairs")
+	flag.IntVar(&o.batch, "batch", o.batch, "flush a backend batch at this many pending pairs (0 = the backend's preferred batch size)")
 	flag.DurationVar(&o.batchDelay, "batch-delay", o.batchDelay, "max time a pair waits for its batch to fill")
 	flag.IntVar(&o.queue, "queue", o.queue, "max pairs admitted but not completed (429 beyond)")
 	flag.IntVar(&o.cacheSize, "cache", o.cacheSize, "result cache entries (<0 disables)")

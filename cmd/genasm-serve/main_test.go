@@ -49,13 +49,28 @@ func TestParseRefFlag(t *testing.T) {
 
 func TestEngineOptionsValidation(t *testing.T) {
 	o := defaultOptions()
-	if _, err := o.engineOptions(); err != nil {
+	if _, err := buildServer(o); err != nil {
 		t.Fatalf("default options rejected: %v", err)
 	}
 	o.backend = "tpu"
-	if _, err := o.engineOptions(); err == nil {
+	_, err := buildServer(o)
+	if err == nil {
 		t.Fatal("unknown backend accepted")
 	}
+	// The registry's resolution error is self-diagnosing: it lists every
+	// registered name.
+	for _, want := range []string{"cpu", "gpu", "multi"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("backend error %q does not list %q", err, want)
+		}
+	}
+	o = defaultOptions()
+	o.backend = "multi(cpu,gpu)"
+	srv, err := buildServer(o)
+	if err != nil {
+		t.Fatalf("parameterized multi spec rejected: %v", err)
+	}
+	srv.Close()
 	o = defaultOptions()
 	o.algo = "bwa"
 	if _, err := buildServer(o); err == nil {

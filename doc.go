@@ -15,14 +15,15 @@
 //
 // All alignment runs through a genasm.Engine: a concurrency-safe,
 // context-aware service constructed with functional options. The same
-// configuration produces bit-identical results on either backend — the
-// CPU backend pools per-goroutine aligners, the GPU backend executes the
-// same kernels on a simulated SIMT device (an NVIDIA A6000 model) with a
-// shared-memory / L2 / DRAM cost model.
+// configuration produces bit-identical results on every backend — the
+// "cpu" backend pools per-goroutine aligners, the "gpu" backend executes
+// the same kernels on a simulated SIMT device (an NVIDIA A6000 model)
+// with a shared-memory / L2 / DRAM cost model, and the "multi" composite
+// shards one batch across any set of registered backends.
 //
 //	eng, _ := genasm.NewEngine(
 //		genasm.WithAlgorithm(genasm.GenASM),
-//		genasm.WithBackend(genasm.CPU), // or genasm.GPU
+//		genasm.WithBackendName("cpu"), // or "gpu", "multi(cpu,gpu)", ...
 //	)
 //	res, _ := eng.Align(ctx, []byte("ACGTACGT..."), []byte("ACGTTACGT..."))
 //	fmt.Println(res.Distance, res.Cigar)
@@ -61,13 +62,38 @@
 //     reads, plus the unimproved MICRO'20 formulation (GenASMUnimproved)
 //     and reproductions of Edlib, KSW2 and Smith-Waterman-Gotoh as
 //     baselines, all behind the one Engine;
-//   - a CPU backend with pooled aligners and a GPU backend running the
-//     same kernels on the simulated device — selected per Engine with
-//     WithBackend, bit-identical results either way;
+//   - a public backend layer (below): "cpu", "gpu" and the sharding
+//     composite "multi" built in, third-party backends registered by
+//     name, bit-identical results required of all of them;
 //   - workload tooling: synthetic genome generation (GenerateGenome), a
 //     PBSIM2-like read simulator (SimulateLongReads, SimulateShortReads)
 //     and a minimap2-like minimizer/chaining candidate generator
 //     (Mapper).
+//
+// # Backends and the registry
+//
+// Backends are a public driver-style API, as in database/sql: implement
+// the Backend interface (AlignBatch, Capabilities, Stats), register a
+// Factory under a name with Register, and any Engine — and every
+// -backend CLI flag and the server — can run on it via WithBackendName.
+// Backends() lists the registered names. Capabilities (MaxQueryLen,
+// PreferredBatch, Parallelism) lets admission control and the serving
+// scheduler size themselves per backend; BackendStats is the generic
+// operational snapshot (Engine.BackendStats).
+//
+// The built-in "multi" backend is the first scale-out primitive: it
+// shards one AlignBatch across child backends ("multi" defaults to
+// cpu+gpu; "multi(a,b,...)" names any registered children) in
+// contiguous chunks weighted by each child's Parallelism, runs the
+// shards concurrently, and stitches results back in input order — so
+// its output is bit-identical to any single child's, and a failure
+// carries per-shard attribution (ShardError). Every implementation must
+// uphold the paper's equivalence claim: same Config, same Results, bit
+// for bit.
+//
+// Over-length queries are rejected with the typed ErrQueryTooLong
+// (errors.Is-matchable), whether the limit came from WithMaxQueryLen or
+// the backend's capabilities.
 //
 // # Serving
 //
@@ -77,10 +103,13 @@
 // AlignBatch calls under a max-latency deadline (bounded queue, 429
 // backpressure), a registry indexes named references once into shared
 // Mappers, an LRU cache keyed on Engine.Fingerprint short-circuits
-// repeated alignments, and /metrics + /healthz report operational state.
-// /map-align responses are buffered JSON or incrementally streamed
-// SAM/PAF. The full HTTP reference is docs/API.md; the layer map with
-// the MapAlign data flow is docs/ARCHITECTURE.md.
+// repeated alignments, and /metrics + /healthz + /backends report
+// operational state (including the backend registry and per-shard
+// composite stats). The scheduler's default batch size comes from the
+// engine backend's Capabilities. /map-align responses are buffered JSON
+// or incrementally streamed SAM/PAF. The full HTTP reference is
+// docs/API.md; the layer map with the MapAlign data flow is
+// docs/ARCHITECTURE.md.
 //
 // # Migrating from the pre-Engine API
 //
@@ -88,6 +117,16 @@
 // delegate to a throwaway Engine: New/Aligner.Align is NewEngine +
 // Engine.Align, the package-level AlignBatch is Engine.AlignBatch with
 // WithThreads, and AlignBatchGPU is Engine.AlignBatch under
-// WithBackend(GPU) with stats from Engine.GPUStats. WithConfig seeds an
-// Engine from a legacy Config during migration.
+// WithBackendName("gpu") with stats from Engine.BackendStats. WithConfig
+// seeds an Engine from a legacy Config during migration.
+//
+// # Migrating from the enum backend API
+//
+// The backend enum predates the registry and is deprecated in favour of
+// names: WithBackend(CPU|GPU) is WithBackendName("cpu"|"gpu") (the shim
+// resolves through the same registry), Engine.Backend is
+// Engine.BackendName, and Engine.GPUStats is the GPU field of
+// Engine.BackendStats (the shim digs it out of the snapshot, composite
+// children included). Enum callers keep compiling and keep their exact
+// behaviour; they just cannot name composite or third-party backends.
 package genasm

@@ -8,7 +8,12 @@ import (
 	"sync"
 )
 
-// BackendKind selects where an Engine executes alignments.
+// BackendKind enumerates the two built-in leaf backends.
+//
+// Deprecated: backends are now resolved by registered name (see Register
+// and WithBackendName); BackendKind remains only so pre-registry callers
+// keep compiling. It cannot name the "multi" composite or any
+// third-party backend.
 type BackendKind int
 
 const (
@@ -34,7 +39,7 @@ func (k BackendKind) String() string {
 // engineSettings collects everything the functional options configure.
 type engineSettings struct {
 	cfg         Config
-	backend     BackendKind
+	backendName string
 	threads     int
 	mapper      *Mapper
 	maxQueryLen int
@@ -50,10 +55,23 @@ func WithAlgorithm(a Algorithm) Option {
 	return func(s *engineSettings) { s.cfg.Algorithm = a }
 }
 
-// WithBackend selects the execution backend (default CPU). The GPU backend
-// supports the GenASM algorithms only.
+// WithBackendName selects the execution backend by its registered name
+// (default "cpu"). Built-ins are "cpu", "gpu" (GenASM algorithms only)
+// and the sharding composite "multi" — parameterizable as
+// "multi(cpu,gpu)" or any other registered child list. Backends()
+// enumerates every valid name; an unknown name fails NewEngine with the
+// valid names in the error.
+func WithBackendName(name string) Option {
+	return func(s *engineSettings) { s.backendName = name }
+}
+
+// WithBackend selects the execution backend by enum kind.
+//
+// Deprecated: use WithBackendName, which can also name registered
+// third-party and composite backends. This shim resolves k.String()
+// through the same registry.
 func WithBackend(k BackendKind) Option {
-	return func(s *engineSettings) { s.backend = k }
+	return WithBackendName(k.String())
 }
 
 // WithWindow sets the GenASM window geometry: window size w, overlap o and
@@ -130,16 +148,19 @@ func WithConfig(cfg Config) Option {
 // so a non-nil Engine never fails on configuration grounds afterwards.
 type Engine struct {
 	cfg         Config
-	kind        BackendKind
+	beName      string
 	threads     int
 	mapper      *Mapper
-	maxQueryLen int
+	maxQueryLen int // effective limit: WithMaxQueryLen tightened by backend capabilities
 	allCands    bool
-	be          backend
+	be          Backend
+	caps        Capabilities
 }
 
 // NewEngine builds an Engine from functional options. The zero-option
 // call yields improved GenASM on the CPU backend with paper parameters.
+// The backend name is resolved through the package registry (see
+// Register); an unknown name fails with every valid name in the error.
 func NewEngine(opts ...Option) (*Engine, error) {
 	var s engineSettings
 	for _, o := range opts {
@@ -150,25 +171,31 @@ func NewEngine(opts ...Option) (*Engine, error) {
 	if s.threads <= 0 {
 		s.threads = runtime.GOMAXPROCS(0)
 	}
+	if s.backendName == "" {
+		s.backendName = "cpu"
+	}
+	be, err := openBackend(s.backendName, cfg, BackendOptions{
+		Threads:        s.threads,
+		GPUBlocksPerSM: s.blocksPerSM,
+	})
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		cfg:         cfg,
-		kind:        s.backend,
+		beName:      s.backendName,
 		threads:     s.threads,
 		mapper:      s.mapper,
 		maxQueryLen: s.maxQueryLen,
 		allCands:    s.allCands,
+		be:          be,
+		caps:        be.Capabilities(),
 	}
-	var err error
-	switch s.backend {
-	case CPU:
-		e.be, err = newCPUBackend(cfg, s.threads)
-	case GPU:
-		e.be, err = newGPUBackend(cfg, s.blocksPerSM)
-	default:
-		err = fmt.Errorf("genasm: unknown backend %v", s.backend)
-	}
-	if err != nil {
-		return nil, err
+	// The admission guardrail is the tighter of the user's WithMaxQueryLen
+	// and the backend's structural limit, so MaxQueryLen is the one number
+	// admission layers need.
+	if e.caps.MaxQueryLen > 0 && (e.maxQueryLen == 0 || e.caps.MaxQueryLen < e.maxQueryLen) {
+		e.maxQueryLen = e.caps.MaxQueryLen
 	}
 	return e, nil
 }
@@ -176,12 +203,32 @@ func NewEngine(opts ...Option) (*Engine, error) {
 // Config returns the engine's default-filled aligner configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// Backend reports which backend the engine runs on.
-func (e *Engine) Backend() BackendKind { return e.kind }
+// BackendName reports the backend spec the engine resolved (e.g. "cpu",
+// "multi(cpu,gpu)").
+func (e *Engine) BackendName() string { return e.beName }
 
-// MaxQueryLen reports the engine's query-length guardrail (0 = unlimited).
-// Batch admission layers use it to reject an over-long query up front
-// rather than let it fail a whole all-or-nothing batch.
+// Capabilities reports the engine's backend execution envelope. Batch
+// schedulers size their flush threshold from PreferredBatch instead of
+// special-casing backend kinds.
+func (e *Engine) Capabilities() Capabilities { return e.caps }
+
+// Backend reports which built-in backend the engine runs on.
+//
+// Deprecated: use BackendName; the enum cannot represent composite or
+// third-party backends (anything that is not the built-in GPU backend
+// reports CPU).
+func (e *Engine) Backend() BackendKind {
+	if e.beName == "gpu" {
+		return GPU
+	}
+	return CPU
+}
+
+// MaxQueryLen reports the engine's effective query-length limit (0 =
+// unlimited): the tighter of the WithMaxQueryLen guardrail and the
+// backend's Capabilities.MaxQueryLen. Batch admission layers use it to
+// reject an over-long query up front rather than let it fail a whole
+// all-or-nothing batch.
 func (e *Engine) MaxQueryLen() int { return e.maxQueryLen }
 
 // Fingerprint returns a deterministic string identifying every parameter
@@ -198,18 +245,55 @@ func (e *Engine) Fingerprint() string {
 		c.Algorithm, c.WindowSize, c.Overlap, c.ErrorK,
 		c.DisableSENE, c.DisableDENT, c.DisableET,
 		c.MatchScore, c.MismatchPenalty, c.GapOpen, c.GapExtend,
-		c.BandWidth, e.kind, e.allCands, e.maxQueryLen)
+		c.BandWidth, e.beName, e.allCands, e.maxQueryLen)
 }
 
+// BackendStats returns the backend's cumulative operational snapshot:
+// batches and pairs executed, per-child breakdowns for composite
+// backends, and the most recent device launch when one exists.
+func (e *Engine) BackendStats() BackendStats { return e.be.Stats() }
+
 // GPUStats returns the simulated-device stats of the most recent launch.
-// The second return is false on the CPU backend or before any launch.
-func (e *Engine) GPUStats() (GPUStats, bool) { return e.be.gpuStats() }
+// The second return is false on a backend with no device (or device-backed
+// child) and before any launch.
+//
+// Deprecated: use BackendStats, which is generic across backends; this
+// shim returns the first device launch found in that snapshot.
+func (e *Engine) GPUStats() (GPUStats, bool) { return e.be.Stats().findGPU() }
 
 func (e *Engine) checkQuery(q []byte) error {
 	if e.maxQueryLen > 0 && len(q) > e.maxQueryLen {
-		return fmt.Errorf("genasm: query length %d exceeds limit %d", len(q), e.maxQueryLen)
+		return fmt.Errorf("query length %d exceeds limit %d: %w", len(q), e.maxQueryLen, ErrQueryTooLong)
 	}
 	return nil
+}
+
+// runBatch executes pairs on the backend and enforces the index-aligned
+// result contract, so a misbehaving third-party backend fails loudly
+// instead of panicking a pipeline worker or truncating silently.
+func (e *Engine) runBatch(ctx context.Context, pairs []Pair) ([]Result, error) {
+	results, err := e.be.AlignBatch(ctx, e.cfg, pairs)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != len(pairs) {
+		return nil, fmt.Errorf("genasm: backend %q returned %d results for %d pairs",
+			e.beName, len(results), len(pairs))
+	}
+	return results, nil
+}
+
+// alignOne runs a single pair on the backend, through its fast path when
+// it has one.
+func (e *Engine) alignOne(ctx context.Context, p Pair) (Result, error) {
+	if s, ok := e.be.(singlePairAligner); ok {
+		return s.alignOne(ctx, p)
+	}
+	res, err := e.runBatch(ctx, []Pair{p})
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
 }
 
 // Align aligns one query against one candidate reference region. Both are
@@ -221,7 +305,7 @@ func (e *Engine) Align(ctx context.Context, query, ref []byte) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	return e.be.align(ctx, Pair{Query: query, Ref: ref})
+	return e.alignOne(ctx, Pair{Query: query, Ref: ref})
 }
 
 // AlignBatch aligns every pair and returns index-aligned results. The
@@ -234,7 +318,7 @@ func (e *Engine) AlignBatch(ctx context.Context, pairs []Pair) ([]Result, error)
 			return nil, fmt.Errorf("pair %d: %w", i, err)
 		}
 	}
-	return e.be.alignBatch(ctx, pairs)
+	return e.runBatch(ctx, pairs)
 }
 
 // Read is one input to the streaming MapAlign pipeline.
@@ -425,10 +509,10 @@ func (e *Engine) mapAlignOne(ctx context.Context, idx int, rd Read) []MappedAlig
 	var err error
 	if len(pairs) == 1 {
 		var r Result
-		r, err = e.be.align(ctx, pairs[0])
+		r, err = e.alignOne(ctx, pairs[0])
 		results = []Result{r}
 	} else {
-		results, err = e.be.alignBatch(ctx, pairs)
+		results, err = e.runBatch(ctx, pairs)
 	}
 	if err != nil {
 		err = fmt.Errorf("read %q: %w", rd.Name, err)

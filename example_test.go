@@ -13,7 +13,7 @@ import (
 func ExampleNewEngine() {
 	eng, err := genasm.NewEngine(
 		genasm.WithAlgorithm(genasm.GenASM),
-		genasm.WithBackend(genasm.CPU),
+		genasm.WithBackendName("cpu"), // or "gpu", "multi(cpu,gpu)" — see Backends()
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -49,6 +49,24 @@ func ExampleEngine_AlignBatch() {
 	// Output:
 	// pair 0: distance 0
 	// pair 1: distance 1
+}
+
+// ExampleWithBackendName selects the sharding composite backend through
+// the driver-style registry; results are bit-identical to any single
+// backend's.
+func ExampleWithBackendName() {
+	eng, err := genasm.NewEngine(genasm.WithBackendName("multi(cpu,gpu)"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Align(context.Background(),
+		[]byte("GATTACAGATTACA"),
+		[]byte("GATTACACATTACA"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(eng.BackendName(), res.Distance, res.Cigar)
+	// Output: multi(cpu,gpu) 1 7=1X6=
 }
 
 // ExampleEngine_MapAlign runs the full read-mapping pipeline: candidate

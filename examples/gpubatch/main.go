@@ -38,7 +38,7 @@ func main() {
 	fmt.Printf("launching %d alignment blocks on the device model...\n\n", len(pairs))
 
 	launch := func(algo genasm.Algorithm) ([]genasm.Result, genasm.GPUStats) {
-		eng, err := genasm.NewEngine(genasm.WithBackend(genasm.GPU), genasm.WithAlgorithm(algo))
+		eng, err := genasm.NewEngine(genasm.WithBackendName("gpu"), genasm.WithAlgorithm(algo))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,11 +46,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		st, ok := eng.GPUStats()
-		if !ok {
-			log.Fatal("no GPU stats after launch")
+		st := eng.BackendStats()
+		if st.GPU == nil {
+			log.Fatal("no device stats after launch")
 		}
-		return res, st
+		return res, *st.GPU
 	}
 	impRes, imp := launch(genasm.GenASM)
 	unimpRes, unimp := launch(genasm.GenASMUnimproved)

@@ -18,31 +18,32 @@ type GPUConfig struct {
 // not cumulative across the engine's lifetime.
 type GPUStats struct {
 	// Device names the simulated device model (e.g. "NVIDIA RTX A6000").
-	Device string
+	Device string `json:"device"`
 	// Seconds is the modelled wall-clock time of the launch: MakespanCycles
 	// divided by the device clock.
-	Seconds float64
+	Seconds float64 `json:"seconds"`
 	// MakespanCycles is the modelled cycle count of the launch's critical
 	// path (block schedule plus L2/DRAM bandwidth floors).
-	MakespanCycles uint64
+	MakespanCycles uint64 `json:"makespan_cycles"`
 	// BlocksPerSM is the occupancy the launch ran at.
-	BlocksPerSM int
+	BlocksPerSM int `json:"blocks_per_sm"`
 	// SharedBlocks / SpilledBlocks count pairs (one pair = one thread
 	// block) whose DP working set did / did not fit the block's
 	// shared-memory allocation; spilled blocks pay the L2/DRAM path.
-	SharedBlocks, SpilledBlocks int
+	SharedBlocks  int `json:"shared_blocks"`
+	SpilledBlocks int `json:"spilled_blocks"`
 	// PairsPerSecond is this launch's modelled throughput: the batch's
 	// pair count divided by Seconds. It is zero for an empty launch.
-	PairsPerSecond float64
+	PairsPerSecond float64 `json:"pairs_per_second"`
 }
 
 // AlignBatchGPU aligns every pair on a simulated NVIDIA A6000. Functional
 // results are bit-identical to the corresponding CPU algorithm; timing
 // comes from the SIMT cost model (see internal/gpu).
 //
-// Deprecated: use NewEngine(WithBackend(GPU), ...) and Engine.AlignBatch;
-// launch stats are available from Engine.GPUStats. This shim delegates to
-// a throwaway Engine.
+// Deprecated: use NewEngine(WithBackendName("gpu"), ...) and
+// Engine.AlignBatch; launch stats are available from
+// Engine.BackendStats().GPU. This shim delegates to a throwaway Engine.
 func AlignBatchGPU(cfg GPUConfig, pairs []Pair) ([]Result, GPUStats, error) {
 	algo := cfg.Algorithm
 	if algo == "" {

@@ -161,3 +161,28 @@ func TestTableFormat(t *testing.T) {
 		}
 	}
 }
+
+func TestE5BackendRuns(t *testing.T) {
+	cfg := QuickWorkload()
+	w, err := BuildWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := E5Backend(context.Background(), w, "multi(cpu,gpu)", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 || tab.Rows[0][0] != "cpu" || tab.Rows[1][0] != "multi(cpu,gpu)" {
+		t.Fatalf("rows %v", tab.Rows)
+	}
+	found := false
+	for _, n := range tab.Notes {
+		found = found || strings.Contains(n, "shards")
+	}
+	if !found {
+		t.Fatalf("composite run produced no shard note: %v", tab.Notes)
+	}
+	if _, err := E5Backend(context.Background(), w, "tpu", 2); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

@@ -255,15 +255,18 @@ func E3CPU(ctx context.Context, w *Workload, threads int, includeSWG bool) (*Tab
 // vs the CPU baselines (KSW2 62x, Edlib 7.2x).
 func E4GPU(ctx context.Context, w *Workload, cpuTimes map[string]time.Duration) (*Table, error) {
 	launch := func(algo genasm.Algorithm) (genasm.GPUStats, error) {
-		eng, err := genasm.NewEngine(genasm.WithBackend(genasm.GPU), genasm.WithAlgorithm(algo))
+		eng, err := genasm.NewEngine(genasm.WithBackendName("gpu"), genasm.WithAlgorithm(algo))
 		if err != nil {
 			return genasm.GPUStats{}, err
 		}
 		if _, err := eng.AlignBatch(ctx, w.PublicPairs()); err != nil {
 			return genasm.GPUStats{}, err
 		}
-		st, _ := eng.GPUStats()
-		return st, nil
+		st := eng.BackendStats()
+		if st.GPU == nil {
+			return genasm.GPUStats{}, fmt.Errorf("gpu backend reported no launch stats")
+		}
+		return *st.GPU, nil
 	}
 	imp, err := launch(genasm.GenASM)
 	if err != nil {
@@ -299,6 +302,57 @@ func E4GPU(ctx context.Context, w *Workload, cpuTimes map[string]time.Duration) 
 			imp.SharedBlocks, len(w.Pairs), unimp.SpilledBlocks, len(w.Pairs)),
 		"GPU times come from the cycle-accurate-ish cost model in internal/gpu; CPU times are measured wall clock (scalar Go), so cross-domain ratios are larger than the paper's SIMD-C vs CUDA ratios",
 	)
+	return tab, nil
+}
+
+// E5Backend times Engine.AlignBatch through the public backend registry
+// on the selected backend name against the cpu baseline: the end-to-end
+// host cost of the shipped API on any registered backend, including the
+// "multi" sharding composite (whose per-child pair split the notes
+// report). Host wall clock, so the gpu rows measure the simulator's
+// execution cost — the modelled device seconds live in E4.
+func E5Backend(ctx context.Context, w *Workload, name string, threads int) (*Table, error) {
+	names := []string{"cpu"}
+	if name != "cpu" {
+		names = append(names, name)
+	}
+	tab := &Table{
+		ID:     "E5",
+		Title:  fmt.Sprintf("Engine backend registry: AlignBatch host throughput, %d pairs", len(w.Pairs)),
+		Header: []string{"backend", "time", "pairs/s", "speedup vs cpu"},
+	}
+	var cpuSec float64
+	for _, be := range names {
+		eng, err := genasm.NewEngine(genasm.WithBackendName(be), genasm.WithThreads(threads))
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := eng.AlignBatch(ctx, w.PublicPairs()); err != nil {
+			return nil, fmt.Errorf("%s: %w", be, err)
+		}
+		el := time.Since(start)
+		if be == "cpu" {
+			cpuSec = el.Seconds()
+		}
+		tab.Rows = append(tab.Rows, []string{
+			be,
+			el.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", float64(len(w.Pairs))/el.Seconds()),
+			fmt.Sprintf("%.1fx", cpuSec/el.Seconds()),
+		})
+		if st := eng.BackendStats(); len(st.Children) > 0 {
+			split := ""
+			for i, c := range st.Children {
+				if i > 0 {
+					split += ", "
+				}
+				split += fmt.Sprintf("%s=%d", c.Name, c.Pairs)
+			}
+			tab.Notes = append(tab.Notes,
+				fmt.Sprintf("%s split the batch over %d shards: %s", be, st.Shards, split))
+		}
+	}
 	return tab, nil
 }
 

@@ -1,0 +1,234 @@
+package genasm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardError attributes a composite-backend failure to the shard that
+// produced it: which child backend, which contiguous pair range of the
+// original batch, and the underlying error (reachable via errors.Is /
+// errors.As through Unwrap).
+type ShardError struct {
+	// Shard is the failing shard's index within the dispatch.
+	Shard int
+	// Backend is the child backend's spec (e.g. "gpu").
+	Backend string
+	// Lo and Hi delimit the shard's half-open pair range [Lo, Hi) in the
+	// batch handed to the multi backend.
+	Lo, Hi int
+	// Err is the child backend's error.
+	Err error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("genasm: multi shard %d (%s, pairs [%d,%d)): %v",
+		e.Shard, e.Backend, e.Lo, e.Hi, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// multiBackend shards one AlignBatch across N child backends by
+// capability-weighted contiguous chunking: each child receives a slice
+// of the batch proportional to its Capabilities().Parallelism, the
+// shards run concurrently, and the results are stitched back in input
+// order — so the concatenation is bit-identical to running the whole
+// batch on any single child. It is the library's first scale-out
+// primitive: "multi(cpu,gpu)" keeps both backends busy on one batch.
+type multiBackend struct {
+	spec     string
+	children []Backend
+	names    []string
+	weights  []int
+	caps     Capabilities
+
+	batches atomic.Uint64
+	pairs   atomic.Uint64
+	shards  atomic.Uint64
+}
+
+// newMultiBackend parses a "multi" spec — "multi" (children cpu,gpu) or
+// "multi(a,b,...)" — and constructs every child through the registry.
+// Children must be leaf backends: nesting multi inside multi is rejected
+// (it would add a sharding layer with nothing to gain and make the
+// weight model recursive).
+func newMultiBackend(spec string, cfg Config, opts BackendOptions) (Backend, error) {
+	childSpecs := []string{"cpu", "gpu"}
+	if rest, ok := strings.CutPrefix(spec, "multi("); ok {
+		inner, ok := strings.CutSuffix(rest, ")")
+		if !ok {
+			return nil, fmt.Errorf("genasm: malformed multi spec %q (want multi(a,b,...))", spec)
+		}
+		childSpecs = strings.Split(inner, ",")
+	} else if spec != "multi" {
+		return nil, fmt.Errorf("genasm: malformed multi spec %q (want multi or multi(a,b,...))", spec)
+	}
+	b := &multiBackend{spec: spec}
+	for _, cs := range childSpecs {
+		cs = strings.TrimSpace(cs)
+		if cs == "" {
+			return nil, fmt.Errorf("genasm: multi spec %q has an empty child", spec)
+		}
+		if baseBackendName(cs) == "multi" {
+			return nil, fmt.Errorf("genasm: multi spec %q nests multi; children must be leaf backends", spec)
+		}
+		child, err := openBackend(cs, cfg, opts)
+		if err != nil {
+			return nil, fmt.Errorf("genasm: multi child %q: %w", cs, err)
+		}
+		b.children = append(b.children, child)
+		b.names = append(b.names, cs)
+	}
+	for _, child := range b.children {
+		caps := child.Capabilities()
+		w := max(1, caps.Parallelism)
+		b.weights = append(b.weights, w)
+		b.caps.Parallelism += w
+		b.caps.PreferredBatch += caps.PreferredBatch
+		if caps.MaxQueryLen > 0 &&
+			(b.caps.MaxQueryLen == 0 || caps.MaxQueryLen < b.caps.MaxQueryLen) {
+			b.caps.MaxQueryLen = caps.MaxQueryLen
+		}
+	}
+	return b, nil
+}
+
+func (b *multiBackend) Capabilities() Capabilities { return b.caps }
+
+func (b *multiBackend) Stats() BackendStats {
+	st := BackendStats{
+		Name:    b.spec,
+		Batches: b.batches.Load(),
+		Pairs:   b.pairs.Load(),
+		Shards:  b.shards.Load(),
+	}
+	for i, child := range b.children {
+		cs := child.Stats()
+		cs.Name = b.names[i]
+		st.Children = append(st.Children, cs)
+	}
+	return st
+}
+
+// shardBounds computes the contiguous half-open pair ranges, one per
+// child, proportional to the capability weights (cumulative rounding so
+// the sizes sum exactly to n). When the batch has at least one pair per
+// child, every child is guaranteed a non-empty shard — an idle child
+// would make the composite pointless, and one stolen pair is noise next
+// to a weight-sized share — by taking from the largest shard. Batches
+// smaller than the child count leave the lightest-weighted children
+// empty.
+func (b *multiBackend) shardBounds(n int) []int {
+	total := 0
+	for _, w := range b.weights {
+		total += w
+	}
+	sizes := make([]int, len(b.children))
+	acc, prev := 0, 0
+	for i, w := range b.weights {
+		acc += w
+		hi := n * acc / total
+		sizes[i] = hi - prev
+		prev = hi
+	}
+	if n >= len(sizes) {
+		for i := range sizes {
+			for sizes[i] == 0 {
+				biggest := 0
+				for j := range sizes {
+					if sizes[j] > sizes[biggest] {
+						biggest = j
+					}
+				}
+				sizes[biggest]--
+				sizes[i]++
+			}
+		}
+	}
+	bounds := make([]int, len(b.children)+1)
+	for i, sz := range sizes {
+		bounds[i+1] = bounds[i] + sz
+	}
+	return bounds
+}
+
+func (b *multiBackend) AlignBatch(ctx context.Context, cfg Config, pairs []Pair) ([]Result, error) {
+	b.batches.Add(1)
+	b.pairs.Add(uint64(len(pairs)))
+	if len(pairs) == 0 {
+		// Delegate the empty batch to the first child so the ctx-checking
+		// contract matches a leaf backend exactly.
+		return b.children[0].AlignBatch(ctx, cfg, pairs)
+	}
+	bounds := b.shardBounds(len(pairs))
+	results := make([]Result, len(pairs))
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(b.children))
+	// origin is the chronologically first shard failure: the one that
+	// triggered cancel(), recorded before the siblings could echo the
+	// cancellation back.
+	var originOnce sync.Once
+	var origin error
+	var wg sync.WaitGroup
+	shard := 0
+	for i, child := range b.children {
+		lo, hi := bounds[i], bounds[i+1]
+		if lo == hi {
+			continue
+		}
+		b.shards.Add(1)
+		wg.Add(1)
+		go func(shard, i, lo, hi int, child Backend) {
+			defer wg.Done()
+			res, err := child.AlignBatch(ctx, cfg, pairs[lo:hi])
+			if err == nil && len(res) != hi-lo {
+				// A contract-violating child (short or long result slice)
+				// must fail loudly, not truncate into zero-valued Results.
+				err = fmt.Errorf("backend returned %d results for %d pairs", len(res), hi-lo)
+			}
+			if err != nil {
+				se := &ShardError{Shard: shard, Backend: b.names[i], Lo: lo, Hi: hi, Err: err}
+				errs[i] = se
+				originOnce.Do(func() { origin = se })
+				cancel() // stop the sibling shards promptly
+				return
+			}
+			copy(results[lo:hi], res)
+		}(shard, i, lo, hi, child)
+		shard++
+	}
+	wg.Wait()
+	// Report a real shard failure over the cancellation echoes it
+	// triggered in siblings; among concurrent real failures the lowest
+	// child index wins so the attribution is deterministic. When every
+	// failure is context-shaped, the caller's actual context decides: if
+	// it expired, the bare context error surfaces (as a leaf backend's
+	// would); if it is live, some child produced the context error on
+	// its own (say, an internal deadline) — the chronologically first
+	// failure is that originator, and it keeps its ShardError
+	// attribution.
+	anyErr := false
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		anyErr = true
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			continue
+		}
+		return nil, err
+	}
+	if anyErr {
+		if perr := parent.Err(); perr != nil {
+			return nil, perr
+		}
+		return nil, origin
+	}
+	return results, nil
+}

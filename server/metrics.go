@@ -49,7 +49,7 @@ type Metrics struct {
 }
 
 // NewMetrics returns a Metrics clock-started now, labeled with the
-// engine's backend kind.
+// engine's backend name (e.g. "cpu", "multi(cpu,gpu)").
 func NewMetrics(backend string) *Metrics {
 	return &Metrics{start: time.Now(), backend: backend}
 }

@@ -19,8 +19,11 @@ var (
 
 // SchedulerConfig tunes the dynamic batcher.
 type SchedulerConfig struct {
-	// MaxBatch flushes a batch as soon as this many pairs are pending
-	// (default 64). Bigger batches keep the backend saturated — the
+	// MaxBatch flushes a batch as soon as this many pairs are pending.
+	// The default is the engine backend's Capabilities().PreferredBatch
+	// (a few pairs per CPU worker, one wave of resident blocks on the
+	// GPU, the children's sum on a composite; 64 if the backend states
+	// no preference). Bigger batches keep the backend saturated — the
 	// paper's throughput lever — at the cost of per-request latency.
 	MaxBatch int
 	// MaxDelay bounds how long the first pair of a batch may wait before
@@ -81,9 +84,14 @@ type Scheduler struct {
 
 // NewScheduler wraps eng with a dynamic batcher. Metrics may be nil.
 func NewScheduler(eng *genasm.Engine, cfg SchedulerConfig, m *Metrics) *Scheduler {
+	if cfg.MaxBatch <= 0 {
+		// Size the flush threshold to the backend's stated appetite
+		// instead of special-casing backend kinds.
+		cfg.MaxBatch = eng.Capabilities().PreferredBatch
+	}
 	cfg.fillDefaults()
 	if m == nil {
-		m = NewMetrics(eng.Backend().String())
+		m = NewMetrics(eng.BackendName())
 	}
 	return &Scheduler{eng: eng, cfg: cfg, m: m}
 }

@@ -14,8 +14,16 @@
 //   - Cache: an LRU of Results keyed on (engine fingerprint, reference,
 //     query) with hit/miss accounting.
 //   - Metrics: /metrics (expvar-style JSON counters: queue depth, batch
-//     size histogram, latency percentiles, cache hits, backend kind) and
-//     /healthz.
+//     size histogram, latency percentiles, cache hits, plus the engine
+//     backend's own batch/pair/shard counters) and /healthz.
+//   - Backends: /backends lists every registered backend name and the
+//     active backend's capabilities and stats — the engine's
+//     database/sql-style driver registry, surfaced over HTTP.
+//
+// The scheduler's default flush threshold comes from the engine
+// backend's Capabilities (PreferredBatch), so a GPU- or multi-backed
+// server batches to its backend's appetite without kind-specific
+// configuration.
 //
 // /map-align negotiates its response representation: JSON (default, one
 // buffered body) or standard SAM/PAF records (format=sam|paf, via query
@@ -93,7 +101,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := NewMetrics(eng.Backend().String())
+	m := NewMetrics(eng.BackendName())
 	s := &Server{
 		cfg:         cfg,
 		eng:         eng,
@@ -112,6 +120,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /refs/{name}", s.handleRefDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /backends", s.handleBackends)
 	return s, nil
 }
 
@@ -596,7 +605,7 @@ func (s *Server) handleRefDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":      "ok",
-		"backend":     s.eng.Backend().String(),
+		"backend":     s.eng.BackendName(),
 		"fingerprint": s.fingerprint,
 		"refs":        s.registry.Len(),
 	})
@@ -606,7 +615,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap["cache_size"] = s.cache.Len()
 	snap["cache_capacity"] = s.cache.Cap()
+	// The engine backend's own counters ride along: generic batch/pair
+	// totals for any backend, shard totals and per-child breakdowns for
+	// composites, last device launch for device-backed ones.
+	bs := s.eng.BackendStats()
+	snap["backend_batches_total"] = bs.Batches
+	snap["backend_pairs_total"] = bs.Pairs
+	if bs.Shards > 0 || len(bs.Children) > 0 {
+		snap["backend_shards_total"] = bs.Shards
+		snap["backend_children"] = bs.Children
+	}
+	if bs.GPU != nil {
+		snap["backend_gpu_last_launch"] = bs.GPU
+	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleBackends answers GET /backends: every backend name registered in
+// the engine's driver registry plus the active backend's capabilities
+// and cumulative stats. Clients use it to discover valid -backend /
+// WithBackendName values and to watch a composite backend's shard
+// distribution.
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"registered": genasm.Backends(),
+		"active": map[string]any{
+			"name":         s.eng.BackendName(),
+			"capabilities": s.eng.Capabilities(),
+			"stats":        s.eng.BackendStats(),
+		},
+	})
 }
 
 // ---- helpers ----
@@ -638,6 +676,12 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 
 func writeSchedError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, genasm.ErrQueryTooLong):
+		// A client problem, not a service failure: the typed sentinel
+		// survives the scheduler's batch wrapping, so an over-length query
+		// that slipped past pre-admission (e.g. a backend capability limit)
+		// still gets a 4xx.
+		httpError(w, http.StatusBadRequest, "%v", err)
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "%v", err)

@@ -698,3 +698,154 @@ func TestMapAlignStreamErrorAfterEmptyChunks(t *testing.T) {
 		t.Fatalf("status %d (%s), want 503", status, body)
 	}
 }
+
+// TestBackendsEndpoint: GET /backends lists every registered backend
+// name and the active backend's capabilities and cumulative stats.
+func TestBackendsEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, Config{CacheSize: -1})
+	pairs := testPairs(t, 4, 77)
+	if _, err := srv.Engine().AlignBatch(context.Background(), pairs); err != nil {
+		t.Fatal(err)
+	}
+	status, body := doJSON(t, ts.Client(), "GET", ts.URL+"/backends", nil)
+	if status != http.StatusOK {
+		t.Fatalf("/backends status %d: %s", status, body)
+	}
+	var resp struct {
+		Registered []string `json:"registered"`
+		Active     struct {
+			Name         string              `json:"name"`
+			Capabilities genasm.Capabilities `json:"capabilities"`
+			Stats        genasm.BackendStats `json:"stats"`
+		} `json:"active"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cpu", "gpu", "multi"} {
+		found := false
+		for _, n := range resp.Registered {
+			found = found || n == want
+		}
+		if !found {
+			t.Fatalf("registered %v missing %q", resp.Registered, want)
+		}
+	}
+	if resp.Active.Name != "cpu" {
+		t.Fatalf("active backend %q", resp.Active.Name)
+	}
+	if resp.Active.Capabilities.Parallelism <= 0 || resp.Active.Capabilities.PreferredBatch <= 0 {
+		t.Fatalf("capabilities %+v", resp.Active.Capabilities)
+	}
+	if resp.Active.Stats.Pairs < uint64(len(pairs)) {
+		t.Fatalf("stats %+v saw fewer than %d pairs", resp.Active.Stats, len(pairs))
+	}
+}
+
+// TestServerOnMultiBackend serves requests on the sharding composite:
+// results must match a CPU engine bit-for-bit, /metrics must carry the
+// per-child backend breakdown, and /backends must show the active
+// composite.
+func TestServerOnMultiBackend(t *testing.T) {
+	srv, ts := newTestServer(t, Config{
+		EngineOptions: []genasm.Option{genasm.WithBackendName("multi(cpu,gpu)")},
+		Scheduler:     SchedulerConfig{MaxDelay: time.Millisecond},
+		CacheSize:     -1,
+	})
+	if got := srv.Engine().BackendName(); got != "multi(cpu,gpu)" {
+		t.Fatalf("engine backend %q", got)
+	}
+	pairs := testPairs(t, 16, 78)
+	cpuEng, err := genasm.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cpuEng.AlignBatch(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := AlignRequest{}
+	for _, p := range pairs {
+		req.Pairs = append(req.Pairs, AlignPair{Query: string(p.Query), Ref: string(p.Ref)})
+	}
+	status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/align", req)
+	if status != http.StatusOK {
+		t.Fatalf("/align status %d: %s", status, body)
+	}
+	var resp AlignResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if toAlignResult(want[i], false) != resp.Results[i] {
+			t.Fatalf("pair %d: multi-served %+v != cpu %+v", i, resp.Results[i], want[i])
+		}
+	}
+
+	status, body = doJSON(t, ts.Client(), "GET", ts.URL+"/metrics", nil)
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	var snap struct {
+		Backend  string                `json:"backend"`
+		Batches  uint64                `json:"backend_batches_total"`
+		Children []genasm.BackendStats `json:"backend_children"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Backend != "multi(cpu,gpu)" {
+		t.Fatalf("metrics backend %q", snap.Backend)
+	}
+	if snap.Batches == 0 || len(snap.Children) != 2 {
+		t.Fatalf("backend metrics batches=%d children=%+v", snap.Batches, snap.Children)
+	}
+}
+
+// TestSchedulerSizedFromCapabilities: with no explicit MaxBatch the
+// scheduler flushes at the backend's PreferredBatch, not a hardcoded 64.
+func TestSchedulerSizedFromCapabilities(t *testing.T) {
+	eng, err := genasm.NewEngine(genasm.WithThreads(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScheduler(eng, SchedulerConfig{MaxDelay: time.Minute, MaxQueue: 1 << 20}, nil)
+	defer s.Close()
+	want := eng.Capabilities().PreferredBatch // 4 pairs per worker
+	if want != 12 {
+		t.Fatalf("unexpected preferred batch %d for 3 threads", want)
+	}
+	// Submit exactly PreferredBatch pairs from separate goroutines; the
+	// size trigger must flush them as one batch long before the
+	// minute-long deadline.
+	pairs := testPairs(t, want, 79)
+	var wg sync.WaitGroup
+	for i := range pairs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Submit(context.Background(), pairs[i:i+1]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Metrics().batches.Load(); got != 1 {
+		t.Fatalf("%d pairs ran as %d batches, want 1 size-triggered flush", want, got)
+	}
+}
+
+// TestQueryTooLongMapsToBadRequest: the typed genasm.ErrQueryTooLong
+// sentinel surviving the scheduler's wrapping must map to 400, not 500.
+func TestQueryTooLongMapsToBadRequest(t *testing.T) {
+	err := fmt.Errorf("server: batch of 3 pairs: %w",
+		fmt.Errorf("pair 1: query length 9000 exceeds limit 100: %w", genasm.ErrQueryTooLong))
+	rec := httptest.NewRecorder()
+	writeSchedError(rec, err)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "9000") {
+		t.Fatalf("body %q lost the detail", rec.Body.String())
+	}
+}
