@@ -2,14 +2,21 @@
 // HTTP JSON service (see the server package): concurrent /align and
 // /map-align requests coalesce into backend-sized batches, references
 // upload once into a shared minimizer index, results are LRU-cached, and
-// /metrics + /healthz report operational state.
+// /metrics + /healthz report operational state. With -jobs-dir set, the
+// asynchronous bulk lane (POST /jobs and friends, package server/jobs)
+// accepts genome-sized FASTA/FASTQ read sets, runs them through the same
+// scheduler in the background, and serves the finished SAM/PAF/JSON for
+// download; cmd/genasm-submit is the matching client.
 //
 // Example:
 //
-//	genasm-serve -addr :8080 -backend cpu -ref chr1=chr1.fa
+//	genasm-serve -addr :8080 -backend cpu -ref chr1=chr1.fa -jobs-dir /var/genasm/jobs
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/align \
 //	    -d '{"pairs":[{"query":"ACGTACGT","ref":"ACGTTACGT"}]}'
+//
+// See docs/OPERATIONS.md for deployment guidance and docs/API.md for
+// the full HTTP reference.
 package main
 
 import (
@@ -29,20 +36,24 @@ import (
 	"genasm"
 	"genasm/internal/genome"
 	"genasm/server"
+	"genasm/server/jobs"
 )
 
 // options collects every flag so the whole serve path is testable.
 type options struct {
-	addr       string
-	backend    string
-	algo       string
-	threads    int
-	maxQuery   int
-	batch      int
-	batchDelay time.Duration
-	queue      int
-	cacheSize  int
-	refs       []refSpec // preloaded name=path references
+	addr        string
+	backend     string
+	algo        string
+	threads     int
+	maxQuery    int
+	batch       int
+	batchDelay  time.Duration
+	queue       int
+	cacheSize   int
+	refs        []refSpec // preloaded name=path references
+	jobsDir     string    // empty = bulk job lane disabled
+	jobsWorkers int
+	jobsTTL     time.Duration
 }
 
 type refSpec struct{ name, path string }
@@ -56,6 +67,7 @@ func defaultOptions() options {
 		batchDelay: 2 * time.Millisecond,
 		queue:      4096,
 		cacheSize:  4096,
+		jobsTTL:    time.Hour,
 	}
 }
 
@@ -95,6 +107,11 @@ func buildServer(o options) (*server.Server, error) {
 			MaxQueue: o.queue,
 		},
 		CacheSize: o.cacheSize,
+		Jobs: jobs.Config{
+			Dir:     o.jobsDir,
+			Workers: o.jobsWorkers,
+			TTL:     o.jobsTTL,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -132,8 +149,12 @@ func run(ctx context.Context, o options, logw io.Writer, ready func(addr string)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(logw, "genasm-serve: listening on %s (backend=%s, refs=%d)\n",
-		ln.Addr(), srv.Engine().BackendName(), srv.Registry().Len())
+	jobsLane := "off"
+	if srv.Jobs() != nil {
+		jobsLane = o.jobsDir
+	}
+	fmt.Fprintf(logw, "genasm-serve: listening on %s (backend=%s, refs=%d, jobs=%s)\n",
+		ln.Addr(), srv.Engine().BackendName(), srv.Registry().Len(), jobsLane)
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -171,6 +192,9 @@ func main() {
 	flag.DurationVar(&o.batchDelay, "batch-delay", o.batchDelay, "max time a pair waits for its batch to fill")
 	flag.IntVar(&o.queue, "queue", o.queue, "max pairs admitted but not completed (429 beyond)")
 	flag.IntVar(&o.cacheSize, "cache", o.cacheSize, "result cache entries (<0 disables)")
+	flag.StringVar(&o.jobsDir, "jobs-dir", "", "enable the async bulk job lane (POST /jobs), spooling inputs/results under this directory; must be empty or absent at startup (empty string = lane disabled)")
+	flag.IntVar(&o.jobsWorkers, "jobs-workers", 0, "concurrent bulk jobs (0 = backend parallelism/4, min 1)")
+	flag.DurationVar(&o.jobsTTL, "jobs-ttl", o.jobsTTL, "how long finished jobs and their spool files are retained before garbage collection")
 	flag.Func("ref", "preload a reference: name=path.fa (repeatable)", func(v string) error {
 		rs, err := parseRefFlag(v)
 		if err != nil {

@@ -97,6 +97,40 @@ func TestBuildServerPreloadsRefs(t *testing.T) {
 	}
 }
 
+// TestBuildServerJobsLane: -jobs-dir enables the bulk lane (with the
+// worker default derived from backend capabilities), an unset flag
+// leaves it off, and a stale spool dir is refused at startup.
+func TestBuildServerJobsLane(t *testing.T) {
+	o := defaultOptions()
+	srv, err := buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Jobs() != nil {
+		t.Fatal("jobs lane enabled without -jobs-dir")
+	}
+	srv.Close()
+
+	o.jobsDir = filepath.Join(t.TempDir(), "jobs")
+	srv, err = buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Jobs() == nil {
+		t.Fatal("jobs lane not enabled by -jobs-dir")
+	}
+	srv.Close()
+
+	// Leftover spool entries from a previous process: refuse with a
+	// clear error instead of silently leaking them.
+	if err := os.MkdirAll(filepath.Join(o.jobsDir, "deadbeef0000"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildServer(o); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("stale jobs dir error %v", err)
+	}
+}
+
 // TestRunServesAndShutsDown is the binary's end-to-end smoke test: boot
 // on an ephemeral port with a preloaded reference, serve real requests,
 // then shut down gracefully on context cancellation.

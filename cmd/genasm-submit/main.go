@@ -1,0 +1,279 @@
+// Command genasm-submit is the bulk-lane client for genasm-serve:
+// submit a FASTA/FASTQ read set as an asynchronous job (POST /jobs),
+// poll it to completion with progress on stderr, and download the
+// finished SAM/PAF/JSON result to an atomically written output file.
+//
+//	genasm-submit -server http://localhost:8080 -ref chr1 \
+//	    -reads reads.fastq -format sam -out reads.sam
+//
+// The job survives this client: interrupting genasm-submit cancels the
+// job by default (-cancel-on-interrupt=false leaves it running, to be
+// picked up later with plain curl against /jobs/{id}). With -no-wait
+// the job ID is printed on stdout and the command returns immediately
+// after submission.
+//
+// See docs/API.md for the /jobs endpoints and docs/OPERATIONS.md for
+// how the bulk lane is deployed and sized.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"genasm/internal/cliutil"
+)
+
+// options collects every flag so the whole submit path is testable.
+type options struct {
+	server            string
+	ref               string
+	readsPath         string
+	format            string
+	all               bool
+	out               string
+	poll              time.Duration
+	timeout           time.Duration
+	noWait            bool
+	cancelOnInterrupt bool
+}
+
+func defaultOptions() options {
+	return options{
+		format:            "sam",
+		out:               "-",
+		poll:              500 * time.Millisecond,
+		cancelOnInterrupt: true,
+	}
+}
+
+// jobSnapshot mirrors the server's jobs.Snapshot wire shape (decoded
+// loosely: only the fields the client acts on).
+type jobSnapshot struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Error       string `json:"error"`
+	ReadsTotal  int64  `json:"reads_total"`
+	ReadsDone   int64  `json:"reads_done"`
+	ReadsFailed int64  `json:"reads_failed"`
+	ResultBytes int64  `json:"result_bytes"`
+}
+
+func main() {
+	o := defaultOptions()
+	flag.StringVar(&o.server, "server", "", "genasm-serve base URL, e.g. http://localhost:8080 (required)")
+	flag.StringVar(&o.ref, "ref", "", "registered reference name to map against (required)")
+	flag.StringVar(&o.readsPath, "reads", "", "reads FASTA/FASTQ file to submit (required)")
+	flag.StringVar(&o.format, "format", o.format, "result format: sam | paf | json")
+	flag.BoolVar(&o.all, "all", false, "align every candidate location, not just the best")
+	flag.StringVar(&o.out, "out", o.out, "result output path (- = stdout), written atomically")
+	flag.DurationVar(&o.poll, "poll", o.poll, "poll interval while waiting for the job")
+	flag.DurationVar(&o.timeout, "timeout", 0, "give up waiting after this long (0 = wait forever)")
+	flag.BoolVar(&o.noWait, "no-wait", false, "submit only: print the job ID on stdout and exit")
+	flag.BoolVar(&o.cancelOnInterrupt, "cancel-on-interrupt", o.cancelOnInterrupt,
+		"DELETE the job when interrupted while waiting")
+	flag.Parse()
+	if o.server == "" || o.ref == "" || o.readsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, o, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "genasm-submit:", err)
+		os.Exit(1)
+	}
+}
+
+// run submits, polls and fetches. stdout receives the job ID (-no-wait)
+// or the result itself (-out -); logw carries progress lines. It is the
+// whole CLI minus flag parsing, so tests drive it directly.
+func run(ctx context.Context, o options, stdout io.Writer, logw io.Writer) error {
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+	base := strings.TrimSuffix(o.server, "/")
+	client := &http.Client{}
+
+	snap, err := submit(ctx, client, base, o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "genasm-submit: job %s %s (ref=%s, format=%s)\n",
+		snap.ID, snap.State, o.ref, o.format)
+	if o.noWait {
+		fmt.Fprintln(stdout, snap.ID)
+		return nil
+	}
+
+	snap, err = poll(ctx, client, base, snap.ID, o.poll, logw)
+	if err != nil {
+		if o.cancelOnInterrupt && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// Best effort, on a fresh context: ours is already dead.
+			cctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if derr := cancelJob(cctx, client, base, snap.ID); derr == nil {
+				return fmt.Errorf("interrupted; job %s canceled", snap.ID)
+			}
+			return fmt.Errorf("interrupted; job %s could not be canceled and may still be running", snap.ID)
+		}
+		return err
+	}
+	switch snap.State {
+	case "done":
+	case "failed", "canceled":
+		return fmt.Errorf("job %s %s: %s", snap.ID, snap.State, snap.Error)
+	default:
+		return fmt.Errorf("job %s in unexpected state %q", snap.ID, snap.State)
+	}
+
+	if err := fetch(ctx, client, base, snap.ID, o.out, stdout); err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "genasm-submit: job %s done: %d/%d reads (%d skipped), %d result bytes -> %s\n",
+		snap.ID, snap.ReadsDone, snap.ReadsTotal, snap.ReadsFailed, snap.ResultBytes, o.out)
+	return nil
+}
+
+// submit POSTs the reads file as a job and decodes the 202 snapshot.
+func submit(ctx context.Context, client *http.Client, base string, o options) (jobSnapshot, error) {
+	f, err := os.Open(o.readsPath)
+	if err != nil {
+		return jobSnapshot{}, err
+	}
+	defer f.Close()
+	u := fmt.Sprintf("%s/jobs?ref=%s&format=%s", base,
+		url.QueryEscape(o.ref), url.QueryEscape(o.format))
+	if o.all {
+		u += "&all=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, f)
+	if err != nil {
+		return jobSnapshot{}, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	var snap jobSnapshot
+	if err := doJSON(client, req, http.StatusAccepted, &snap); err != nil {
+		return jobSnapshot{}, fmt.Errorf("submitting job: %w", err)
+	}
+	if snap.ID == "" {
+		return jobSnapshot{}, errors.New("server accepted the job but returned no ID")
+	}
+	return snap, nil
+}
+
+// poll GETs the job until it reaches a terminal state, logging progress
+// transitions on logw.
+func poll(ctx context.Context, client *http.Client, base, id string, every time.Duration, logw io.Writer) (jobSnapshot, error) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	var lastDone int64 = -1
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id, nil)
+		if err != nil {
+			return jobSnapshot{ID: id}, err
+		}
+		var snap jobSnapshot
+		if err := doJSON(client, req, http.StatusOK, &snap); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return jobSnapshot{ID: id}, cerr
+			}
+			return jobSnapshot{ID: id}, fmt.Errorf("polling job %s: %w", id, err)
+		}
+		switch snap.State {
+		case "done", "failed", "canceled":
+			return snap, nil
+		}
+		if snap.ReadsDone != lastDone && snap.ReadsTotal > 0 {
+			lastDone = snap.ReadsDone
+			fmt.Fprintf(logw, "genasm-submit: job %s %s: %d/%d reads\n",
+				id, snap.State, snap.ReadsDone, snap.ReadsTotal)
+		}
+		select {
+		case <-ctx.Done():
+			return jobSnapshot{ID: id}, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// fetch downloads the result, writing it atomically to outPath.
+func fetch(ctx context.Context, client *http.Client, base, id, outPath string, stdout io.Writer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+id+"/result", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("downloading result: %s", readError(resp))
+	}
+	if outPath == "-" {
+		_, err := io.Copy(stdout, resp.Body)
+		return err
+	}
+	return cliutil.WriteAtomic(outPath, func(w io.Writer) error {
+		_, err := io.Copy(w, resp.Body)
+		return err
+	})
+}
+
+// cancelJob best-effort DELETEs the job.
+func cancelJob(ctx context.Context, client *http.Client, base, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, base+"/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("cancel: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// doJSON executes req, requires wantStatus, and decodes the body into v.
+func doJSON(client *http.Client, req *http.Request, wantStatus int, v any) error {
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		return errors.New(readError(resp))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// readError renders a non-2xx response ({"error": "..."} or raw body)
+// as a one-line message.
+func readError(resp *http.Response) string {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Sprintf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Sprintf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}

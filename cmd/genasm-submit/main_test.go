@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"genasm"
+	"genasm/server"
+	"genasm/server/jobs"
+)
+
+// startServer boots a real server.Server with the bulk lane enabled and
+// one registered reference, returning its base URL and the simulated
+// reads written to a FASTQ file.
+func startServer(t *testing.T) (base string, readsPath string, nReads int) {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Scheduler: server.SchedulerConfig{MaxDelay: time.Millisecond},
+		Jobs: jobs.Config{
+			Dir:        filepath.Join(t.TempDir(), "spool"),
+			Workers:    1,
+			DrainGrace: 100 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := genasm.GenerateGenome(60_000, 91)
+	if _, err := srv.Registry().Add("chr", ref); err != nil {
+		t.Fatal(err)
+	}
+	reads, err := genasm.SimulateLongReads(ref, 6, 500, 0.08, 92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fastq strings.Builder
+	for _, rd := range reads {
+		fmt.Fprintf(&fastq, "@%s\n%s\n+\n%s\n", rd.Name, rd.Seq, rd.Qual)
+	}
+	readsPath = filepath.Join(t.TempDir(), "reads.fastq")
+	if err := os.WriteFile(readsPath, []byte(fastq.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts.URL, readsPath, len(reads)
+}
+
+// TestSubmitPollFetch drives the whole CLI path: submit, poll to done,
+// download, atomic output file.
+func TestSubmitPollFetch(t *testing.T) {
+	base, readsPath, _ := startServer(t)
+	outPath := filepath.Join(t.TempDir(), "out.sam")
+	o := defaultOptions()
+	o.server = base
+	o.ref = "chr"
+	o.readsPath = readsPath
+	o.out = outPath
+	o.poll = 10 * time.Millisecond
+
+	var stdout, logs bytes.Buffer
+	if err := run(context.Background(), o, &stdout, &logs); err != nil {
+		t.Fatalf("run: %v (log %s)", err, logs.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "@HD\tVN:1.6") {
+		t.Fatalf("output is not SAM: %q...", data[:min(len(data), 60)])
+	}
+	if !strings.Contains(logs.String(), "done") {
+		t.Fatalf("log %q lacks completion line", logs.String())
+	}
+}
+
+// TestSubmitToStdout: -out - streams the result to stdout.
+func TestSubmitToStdout(t *testing.T) {
+	base, readsPath, _ := startServer(t)
+	o := defaultOptions()
+	o.server = base
+	o.ref = "chr"
+	o.readsPath = readsPath
+	o.format = "paf"
+	o.poll = 10 * time.Millisecond
+
+	var stdout, logs bytes.Buffer
+	if err := run(context.Background(), o, &stdout, &logs); err != nil {
+		t.Fatalf("run: %v (log %s)", err, logs.String())
+	}
+	if stdout.Len() == 0 || strings.HasPrefix(stdout.String(), "@HD") {
+		t.Fatalf("stdout %q is not PAF", stdout.String()[:min(stdout.Len(), 60)])
+	}
+}
+
+// TestSubmitNoWait prints the job ID and returns without polling.
+func TestSubmitNoWait(t *testing.T) {
+	base, readsPath, _ := startServer(t)
+	o := defaultOptions()
+	o.server = base
+	o.ref = "chr"
+	o.readsPath = readsPath
+	o.noWait = true
+
+	var stdout, logs bytes.Buffer
+	if err := run(context.Background(), o, &stdout, &logs); err != nil {
+		t.Fatal(err)
+	}
+	id := strings.TrimSpace(stdout.String())
+	if len(id) != 12 {
+		t.Fatalf("stdout %q is not a job ID", stdout.String())
+	}
+}
+
+// TestSubmitErrors: server-side rejections surface as useful errors,
+// and a failing run never creates the output file.
+func TestSubmitErrors(t *testing.T) {
+	base, readsPath, _ := startServer(t)
+	outPath := filepath.Join(t.TempDir(), "out.sam")
+
+	o := defaultOptions()
+	o.server = base
+	o.ref = "ghost"
+	o.readsPath = readsPath
+	o.out = outPath
+	var stdout, logs bytes.Buffer
+	err := run(context.Background(), o, &stdout, &logs)
+	if err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("unknown ref error %v", err)
+	}
+	if _, statErr := os.Stat(outPath); !os.IsNotExist(statErr) {
+		t.Fatalf("failed run created output: %v", statErr)
+	}
+
+	o.ref = "chr"
+	o.readsPath = filepath.Join(t.TempDir(), "missing.fastq")
+	if err := run(context.Background(), o, &stdout, &logs); err == nil {
+		t.Fatal("missing reads file accepted")
+	}
+
+	o.readsPath = readsPath
+	o.format = "bam"
+	if err := run(context.Background(), o, &stdout, &logs); err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Fatalf("bad format error %v", err)
+	}
+}

@@ -1,0 +1,104 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"genasm"
+	"genasm/server"
+	"genasm/server/jobs"
+)
+
+// ExampleServer_jobs walks the bulk-lane client path end to end:
+// submit a FASTQ read set as an asynchronous job (POST /jobs), poll it
+// to completion (GET /jobs/{id}), and download the finished SAM
+// (GET /jobs/{id}/result). cmd/genasm-submit packages exactly this
+// flow as a CLI.
+func ExampleServer_jobs() {
+	spool, err := os.MkdirTemp("", "genasm-jobs-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(spool)
+
+	srv, err := server.New(server.Config{
+		Scheduler: server.SchedulerConfig{MaxDelay: time.Millisecond},
+		Jobs:      jobs.Config{Dir: filepath.Join(spool, "spool"), Workers: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	// One registered reference and a few simulated reads to map.
+	ref := genasm.GenerateGenome(60_000, 11)
+	if _, err := srv.Registry().Add("chr", ref); err != nil {
+		log.Fatal(err)
+	}
+	reads, err := genasm.SimulateLongReads(ref, 4, 500, 0.08, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var fastq strings.Builder
+	for _, rd := range reads {
+		fmt.Fprintf(&fastq, "@%s\n%s\n+\n%s\n", rd.Name, rd.Seq, rd.Qual)
+	}
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Submit: the raw FASTA/FASTQ body is spooled and queued; 202
+	// returns immediately with the job snapshot.
+	resp, err := http.Post(ts.URL+"/jobs?ref=chr&format=sam", "text/plain", strings.NewReader(fastq.String()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var job struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Println("submitted:", job.State)
+
+	// Poll until the job reaches a terminal state.
+	for job.State != "done" && job.State != "failed" && job.State != "canceled" {
+		time.Sleep(10 * time.Millisecond)
+		poll, err := http.Get(ts.URL + "/jobs/" + job.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.NewDecoder(poll.Body).Decode(&job); err != nil {
+			log.Fatal(err)
+		}
+		poll.Body.Close()
+	}
+	fmt.Println("final:", job.State)
+
+	// Fetch the finished result — byte-identical to what the
+	// synchronous /map-align?format=sam lane would have streamed.
+	res, err := http.Get(ts.URL + "/jobs/" + job.ID + "/result")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sam, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sam header:", strings.HasPrefix(string(sam), "@HD\tVN:1.6"))
+	// Output:
+	// submitted: queued
+	// final: done
+	// sam header: true
+}

@@ -1,0 +1,701 @@
+// Package jobs is the server's asynchronous bulk lane: submit a
+// genome-sized read set once, poll its progress, download the result
+// when it is done. The interactive endpoints (/align, /map-align) hold
+// the HTTP connection open for the whole run, which caps them at
+// request-sized work; a job survives client disconnects, reports
+// read-level progress, and spools its input and result on disk so a
+// completed run costs nothing to re-download.
+//
+// The package is deliberately ignorant of HTTP and of the alignment
+// engine: the Manager owns the job index, the spool directory, a
+// bounded worker pool, cancellation, TTL-based retention and drain
+// semantics, and delegates the actual work to a RunFunc supplied by the
+// serving layer. That keeps the state machine independently testable
+// and leaves scheduler/engine reuse where those live.
+//
+// Job state machine:
+//
+//	queued ──► running ──► done
+//	   │           │   └──► failed   (run error, or server shutdown)
+//	   └───────────┴──────► canceled (DELETE while queued or running)
+//
+// Results are written through internal/cliutil.WriteAtomic: a result
+// file either exists complete or not at all — a crashed, canceled or
+// drained job never leaves a half-written download behind.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"genasm/internal/cliutil"
+)
+
+// Errors surfaced to the HTTP layer (mapped to 429 and 503).
+var (
+	// ErrBacklogFull reports that Submit would exceed Config.MaxQueued
+	// undispatched jobs.
+	ErrBacklogFull = errors.New("jobs: backlog full")
+	// ErrClosed reports a Submit after Close began.
+	ErrClosed = errors.New("jobs: manager closed")
+	// ErrNotTerminal reports a Remove of a job that is still queued or
+	// running (cancel it first).
+	ErrNotTerminal = errors.New("jobs: job not terminal")
+)
+
+// State is a job's position in the lifecycle state machine.
+type State string
+
+const (
+	Queued   State = "queued"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
+)
+
+// Terminal reports whether s is an end state (done, failed, canceled) —
+// the states retention sweeping and result download apply to.
+func (s State) Terminal() bool {
+	return s == Done || s == Failed || s == Canceled
+}
+
+// Spec is what a job should compute, fixed at submission.
+type Spec struct {
+	// Ref names the registered reference to map against.
+	Ref string `json:"ref"`
+	// Format is the result representation: "sam", "paf" or "json".
+	Format string `json:"format"`
+	// AllCandidates aligns every candidate location, not just the best.
+	AllCandidates bool `json:"all_candidates,omitempty"`
+}
+
+// Progress carries a running job's read-level counters. The RunFunc
+// updates it batch by batch; snapshots read it concurrently.
+type Progress struct {
+	total  atomic.Int64
+	done   atomic.Int64
+	failed atomic.Int64
+	// onAdd (set by the Manager) forwards increments into the
+	// manager-wide metrics counters.
+	onAdd func(done, failed int64)
+}
+
+// SetTotal records how many reads the job's input parsed into (known
+// only once the job starts running).
+func (p *Progress) SetTotal(n int) { p.total.Store(int64(n)) }
+
+// Add records done reads processed, failed of which had per-read errors
+// (and so have no record in the result).
+func (p *Progress) Add(done, failed int) {
+	p.done.Add(int64(done))
+	p.failed.Add(int64(failed))
+	if p.onAdd != nil {
+		p.onAdd(int64(done), int64(failed))
+	}
+}
+
+// RunFunc executes one job's work: parse the spooled input file at
+// inputPath, write the complete result to out, and report progress on
+// p. It must honor ctx — cancellation is how DELETE and server drain
+// interrupt a running job — and must not retain out after returning
+// (out is the atomic-write temp file; it is renamed into place only
+// when RunFunc returns nil).
+type RunFunc func(ctx context.Context, spec Spec, inputPath string, out io.Writer, p *Progress) error
+
+// Config tunes a Manager. Zero values take the documented defaults.
+type Config struct {
+	// Dir is the spool directory (required). Each job gets
+	// Dir/<id>/input.<fasta|fastq> and Dir/<id>/result.<format>.
+	// A non-empty pre-existing Dir is refused: the in-memory job index
+	// does not survive restarts, so leftover spool entries are
+	// unreachable state that would otherwise leak disk forever.
+	Dir string
+	// Workers bounds how many jobs run concurrently (default 2). Each
+	// worker drains its job through the shared batch scheduler in
+	// backend-capability-sized batches, so a small pool already
+	// saturates the backend; more workers mainly trade bulk-lane
+	// fairness against interactive latency.
+	Workers int
+	// TTL is how long a terminal job (and its spool files) is retained
+	// before the sweeper garbage-collects it (default 1h).
+	TTL time.Duration
+	// SweepEvery is the sweeper period (default TTL/10, clamped to
+	// [1s, 1m]).
+	SweepEvery time.Duration
+	// MaxQueued bounds submitted-but-undispatched jobs (default 64);
+	// beyond it Submit fails fast with ErrBacklogFull.
+	MaxQueued int
+	// DrainGrace is how long Close waits for running jobs to finish
+	// before canceling them and marking them failed (default 10s).
+	DrainGrace time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.TTL <= 0 {
+		c.TTL = time.Hour
+	}
+	if c.SweepEvery <= 0 {
+		c.SweepEvery = min(max(c.TTL/10, time.Second), time.Minute)
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 64
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 10 * time.Second
+	}
+}
+
+// Snapshot is a job's externally visible state, safe to serialize.
+type Snapshot struct {
+	ID string `json:"id"`
+	Spec
+	State State `json:"state"`
+	// Error is set for failed (run error) and canceled (cancel reason)
+	// jobs.
+	Error string `json:"error,omitempty"`
+	// Read-level progress: ReadsTotal is 0 until the input is parsed at
+	// run start; ReadsFailed counts per-read errors (reads absent from
+	// the result).
+	ReadsTotal  int64 `json:"reads_total"`
+	ReadsDone   int64 `json:"reads_done"`
+	ReadsFailed int64 `json:"reads_failed,omitempty"`
+
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// ResultBytes is the complete result's size (done jobs only).
+	ResultBytes int64 `json:"result_bytes,omitempty"`
+}
+
+// job is the internal record behind a Snapshot. Fields other than
+// progress are guarded by the Manager mutex.
+type job struct {
+	id   string
+	spec Spec
+	dir  string // spool dir for this job
+	in   string // spooled input path
+	out  string // result path
+
+	state     State
+	errMsg    string
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	resBytes  int64
+	progress  Progress
+	cancel    context.CancelFunc // non-nil while running
+	cancelReq bool               // DELETE asked for cancellation
+	drained   bool               // Close canceled it (failed, not canceled)
+}
+
+// Stats is the manager-wide counter snapshot feeding the jobs_* fields
+// of the server's /metrics.
+type Stats struct {
+	Submitted   int64 // jobs accepted by Submit
+	Done        int64 // jobs finished successfully
+	Failed      int64 // jobs that errored (including drain interruptions)
+	Canceled    int64 // jobs canceled by DELETE
+	Swept       int64 // terminal jobs garbage-collected (TTL or DELETE)
+	Queued      int64 // gauge: submitted, not yet running
+	Running     int64 // gauge: running right now
+	ReadsDone   int64 // reads processed across all jobs
+	ReadsFailed int64 // reads with per-read errors across all jobs
+	ResultBytes int64 // bytes of completed results produced
+}
+
+// Manager owns the job index, spool directory, worker pool and
+// retention sweeping. Construct with NewManager, stop with Close. All
+// methods are safe for concurrent use.
+type Manager struct {
+	cfg Config
+	run RunFunc
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals workers that pending changed
+	pending []*job     // FIFO of queued jobs awaiting a worker
+	jobs    map[string]*job
+	order   []string             // submission order (List reverses it)
+	gone    map[string]time.Time // tombstones of swept job IDs -> sweep time
+	queued  int                  // jobs submitted, not yet running
+	closed  bool
+
+	stopc chan struct{} // closes when Close begins (stops the sweeper)
+	wg    sync.WaitGroup
+
+	stats struct {
+		submitted, done, failed, canceled, swept atomic.Int64
+		running                                  atomic.Int64
+		readsDone, readsFailed, resultBytes      atomic.Int64
+	}
+}
+
+// goneTombstones bounds the swept-ID memory: enough to answer 410 Gone
+// for any plausibly retried download, never enough to leak.
+const goneTombstones = 4096
+
+// NewManager validates cfg, prepares the spool directory and starts the
+// worker pool and retention sweeper.
+//
+// A pre-existing non-empty Dir is refused with a clear error: the job
+// index lives in memory, so spool entries from a previous process are
+// unreachable and would leak disk forever. Operators should point
+// -jobs-dir at a fresh (or emptied) directory per server instance.
+func NewManager(cfg Config, run RunFunc) (*Manager, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("jobs: Config.Dir is required")
+	}
+	if run == nil {
+		return nil, errors.New("jobs: RunFunc is required")
+	}
+	cfg.fillDefaults()
+	if entries, err := os.ReadDir(cfg.Dir); err == nil && len(entries) > 0 {
+		return nil, fmt.Errorf("jobs: spool dir %s already contains %d entries "+
+			"(stale state from a previous run?): jobs do not survive restarts — "+
+			"remove the directory contents or point -jobs-dir at a fresh directory",
+			cfg.Dir, len(entries))
+	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("jobs: reading spool dir: %w", err)
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: creating spool dir: %w", err)
+	}
+	m := &Manager{
+		cfg:   cfg,
+		run:   run,
+		jobs:  make(map[string]*job),
+		gone:  make(map[string]time.Time),
+		stopc: make(chan struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	m.wg.Add(1)
+	go m.sweeper()
+	return m, nil
+}
+
+// newID returns a 12-hex-character random job ID.
+func newID() (string, error) {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Submit spools input to disk (atomically), registers the job as queued
+// and hands it to the worker pool. ext selects the input spool name
+// suffix (".fasta" or ".fastq" — it drives format detection at run
+// time). It fails fast with ErrBacklogFull beyond MaxQueued pending
+// jobs and ErrClosed after Close.
+func (m *Manager) Submit(spec Spec, input io.Reader, ext string) (Snapshot, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Snapshot{}, ErrClosed
+	}
+	if m.queued >= m.cfg.MaxQueued {
+		m.mu.Unlock()
+		return Snapshot{}, fmt.Errorf("%w: %d jobs pending", ErrBacklogFull, m.cfg.MaxQueued)
+	}
+	// Reserve the backlog slot before the (slow, unlocked) input spool
+	// so concurrent submits cannot oversubscribe the queue channel.
+	m.queued++
+	m.mu.Unlock()
+
+	j, err := m.spool(spec, input, ext)
+	if err != nil {
+		m.mu.Lock()
+		m.queued--
+		m.mu.Unlock()
+		return Snapshot{}, err
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		// Lost the race with Close: the workers may already be gone.
+		m.queued--
+		m.mu.Unlock()
+		os.RemoveAll(j.dir)
+		return Snapshot{}, ErrClosed
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.pending = append(m.pending, j)
+	m.stats.submitted.Add(1)
+	snap := j.snapshotLocked()
+	m.cond.Signal()
+	m.mu.Unlock()
+	return snap, nil
+}
+
+// spool creates the job's directory and writes its input file.
+func (m *Manager) spool(spec Spec, input io.Reader, ext string) (*job, error) {
+	id, err := newID()
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(m.cfg.Dir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: creating spool for %s: %w", id, err)
+	}
+	j := &job{
+		id:      id,
+		spec:    spec,
+		dir:     dir,
+		in:      filepath.Join(dir, "input"+ext),
+		out:     filepath.Join(dir, "result."+spec.Format),
+		state:   Queued,
+		created: time.Now(),
+	}
+	j.progress.onAdd = func(done, failed int64) {
+		m.stats.readsDone.Add(done)
+		m.stats.readsFailed.Add(failed)
+	}
+	if err := cliutil.WriteAtomic(j.in, func(w io.Writer) error {
+		_, err := io.Copy(w, input)
+		return err
+	}); err != nil {
+		os.RemoveAll(dir)
+		return nil, fmt.Errorf("jobs: spooling input for %s: %w", id, err)
+	}
+	return j, nil
+}
+
+// worker pops queued jobs in FIFO order and drives each to a terminal
+// state. It exits once the manager is closed and the queue is empty.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.pending) == 0 { // closed and drained
+			m.mu.Unlock()
+			return
+		}
+		j := m.pending[0]
+		m.pending = m.pending[1:]
+		ctx, cancel := context.WithCancel(context.Background())
+		j.cancel = cancel
+		j.state = Running
+		j.started = time.Now()
+		m.queued--
+		m.stats.running.Add(1)
+		m.mu.Unlock()
+		m.runJob(ctx, cancel, j)
+	}
+}
+
+// runJob executes one running job. The result is written atomically: it
+// appears under the job's result path only if the RunFunc completed, so
+// cancellation and drain never leave a half-written download.
+func (m *Manager) runJob(ctx context.Context, cancel context.CancelFunc, j *job) {
+	defer cancel()
+	err := cliutil.WriteAtomic(j.out, func(w io.Writer) error {
+		return m.run(ctx, j.spec, j.in, w, &j.progress)
+	})
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.cancel = nil
+	j.finished = time.Now()
+	m.stats.running.Add(-1)
+	switch {
+	case err == nil:
+		j.state = Done
+		if fi, serr := os.Stat(j.out); serr == nil {
+			j.resBytes = fi.Size()
+		}
+		m.stats.done.Add(1)
+		m.stats.resultBytes.Add(j.resBytes)
+	case j.cancelReq:
+		j.state = Canceled
+		j.errMsg = "canceled by request"
+		m.stats.canceled.Add(1)
+	case j.drained:
+		// Interrupted by server shutdown after DrainGrace: the job is
+		// checkpointed as failed — resubmit it after the restart.
+		j.state = Failed
+		j.errMsg = "interrupted by server shutdown: " + err.Error()
+		m.stats.failed.Add(1)
+	default:
+		j.state = Failed
+		j.errMsg = err.Error()
+		m.stats.failed.Add(1)
+	}
+}
+
+// Get returns a job's snapshot. gone reports a job that existed but has
+// been garbage-collected (tombstoned) — the HTTP layer answers 410 Gone
+// instead of 404.
+func (m *Manager) Get(id string) (snap Snapshot, ok, gone bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, found := m.jobs[id]; found {
+		return j.snapshotLocked(), true, false
+	}
+	_, gone = m.gone[id]
+	return Snapshot{}, false, gone
+}
+
+// ResultPath returns the completed result file for a done job. The
+// same (ok, gone) semantics as Get apply; a job that is not done yet
+// returns ok with an empty path.
+func (m *Manager) ResultPath(id string) (path string, snap Snapshot, ok, gone bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, found := m.jobs[id]
+	if !found {
+		_, gone = m.gone[id]
+		return "", Snapshot{}, false, gone
+	}
+	snap = j.snapshotLocked()
+	if j.state == Done {
+		path = j.out
+	}
+	return path, snap, true, false
+}
+
+// List returns every live job, most recently submitted first.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Snapshot, 0, len(m.jobs))
+	for i := len(m.order) - 1; i >= 0; i-- {
+		if j, ok := m.jobs[m.order[i]]; ok {
+			out = append(out, j.snapshotLocked())
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation of a queued or running job: queued jobs
+// transition to canceled immediately, running jobs have their context
+// canceled and transition when the RunFunc unwinds (within one batch).
+// Canceling a terminal job is a no-op; the returned snapshot reflects
+// the post-call state.
+func (m *Manager) Cancel(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	switch j.state {
+	case Queued:
+		j.state = Canceled
+		j.errMsg = "canceled by request"
+		j.finished = time.Now()
+		m.queued--
+		m.unqueueLocked(j)
+		m.stats.canceled.Add(1)
+	case Running:
+		j.cancelReq = true
+		j.cancel() // runJob observes ctx and finishes the transition
+	}
+	return j.snapshotLocked(), true
+}
+
+// unqueueLocked removes j from the pending FIFO. Caller holds m.mu.
+func (m *Manager) unqueueLocked(j *job) {
+	for i, p := range m.pending {
+		if p == j {
+			m.pending = append(m.pending[:i], m.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// Remove garbage-collects a terminal job right now: its spool directory
+// is deleted and its ID tombstoned (subsequent lookups report gone).
+// Removing a queued or running job fails with ErrNotTerminal — cancel
+// it first.
+func (m *Manager) Remove(id string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return false, nil
+	}
+	if !j.state.Terminal() {
+		return true, fmt.Errorf("%w: job %s is %s", ErrNotTerminal, id, j.state)
+	}
+	m.dropLocked(j)
+	return true, nil
+}
+
+// dropLocked deletes a terminal job's spool and index entry and
+// tombstones its ID. Caller holds m.mu.
+func (m *Manager) dropLocked(j *job) {
+	os.RemoveAll(j.dir)
+	delete(m.jobs, j.id)
+	m.gone[j.id] = time.Now()
+	m.stats.swept.Add(1)
+	if len(m.gone) > goneTombstones {
+		// Bound tombstone memory by evicting the oldest half; a 410
+		// degrading to a 404 for ancient IDs is acceptable.
+		cutoff := time.Now()
+		for _, t := range m.gone {
+			if t.Before(cutoff) {
+				cutoff = t
+			}
+		}
+		mid := cutoff.Add(time.Since(cutoff) / 2)
+		for id, t := range m.gone {
+			if t.Before(mid) {
+				delete(m.gone, id)
+			}
+		}
+	}
+}
+
+// Sweep garbage-collects every terminal job whose finish time is older
+// than TTL, returning how many were dropped. The background sweeper
+// calls it every SweepEvery; it is exported so tests and operators can
+// force a deterministic sweep.
+func (m *Manager) Sweep() int {
+	deadline := time.Now().Add(-m.cfg.TTL)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, j := range m.jobs {
+		if j.state.Terminal() && j.finished.Before(deadline) {
+			m.dropLocked(j)
+			n++
+		}
+	}
+	if n > 0 {
+		// Compact the order slice so it cannot grow without bound.
+		live := m.order[:0]
+		for _, id := range m.order {
+			if _, ok := m.jobs[id]; ok {
+				live = append(live, id)
+			}
+		}
+		m.order = live
+	}
+	return n
+}
+
+func (m *Manager) sweeper() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopc:
+			return
+		case <-t.C:
+			m.Sweep()
+		}
+	}
+}
+
+// Stats returns the manager-wide counters for /metrics.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	queued := int64(m.queued)
+	m.mu.Unlock()
+	return Stats{
+		Submitted:   m.stats.submitted.Load(),
+		Done:        m.stats.done.Load(),
+		Failed:      m.stats.failed.Load(),
+		Canceled:    m.stats.canceled.Load(),
+		Swept:       m.stats.swept.Load(),
+		Queued:      queued,
+		Running:     m.stats.running.Load(),
+		ReadsDone:   m.stats.readsDone.Load(),
+		ReadsFailed: m.stats.readsFailed.Load(),
+		ResultBytes: m.stats.resultBytes.Load(),
+	}
+}
+
+// Close drains the bulk lane: admission stops (ErrClosed), queued jobs
+// are canceled, and running jobs get DrainGrace to finish before their
+// contexts are canceled and they are checkpointed as failed. Either
+// way no half-written result can remain (results are written
+// atomically). Close is idempotent and returns once every worker has
+// exited.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	close(m.stopc)
+	// Cancel everything still waiting in the queue, then wake every
+	// worker so it can observe closed and exit.
+	for _, j := range m.pending {
+		j.state = Canceled
+		j.errMsg = "canceled: server shutting down"
+		j.finished = time.Now()
+		m.queued--
+		m.stats.canceled.Add(1)
+	}
+	m.pending = nil
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return
+	case <-time.After(m.cfg.DrainGrace):
+	}
+	// Grace expired: interrupt whatever is still running. runJob marks
+	// these failed (drained), not canceled.
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		if j.state == Running && j.cancel != nil {
+			j.drained = true
+			j.cancel()
+		}
+	}
+	m.mu.Unlock()
+	<-done
+}
+
+// snapshotLocked builds the externally visible view. Caller holds m.mu
+// (progress counters are atomics and need no lock).
+func (j *job) snapshotLocked() Snapshot {
+	s := Snapshot{
+		ID:          j.id,
+		Spec:        j.spec,
+		State:       j.state,
+		Error:       j.errMsg,
+		ReadsTotal:  j.progress.total.Load(),
+		ReadsDone:   j.progress.done.Load(),
+		ReadsFailed: j.progress.failed.Load(),
+		CreatedAt:   j.created,
+		ResultBytes: j.resBytes,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.FinishedAt = &t
+	}
+	return s
+}

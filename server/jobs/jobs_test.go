@@ -1,0 +1,393 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoRun is a RunFunc that copies the input file into the result and
+// reports one-shot progress, exercising the happy path without an
+// engine.
+func echoRun(ctx context.Context, spec Spec, inputPath string, out io.Writer, p *Progress) error {
+	data, err := os.ReadFile(inputPath)
+	if err != nil {
+		return err
+	}
+	p.SetTotal(1)
+	if _, err := out.Write(data); err != nil {
+		return err
+	}
+	p.Add(1, 0)
+	return nil
+}
+
+// blockingRun parks until its context is canceled (signalling started
+// on the way in), so tests can hold a worker mid-job deterministically.
+func blockingRun(started chan<- string) RunFunc {
+	return func(ctx context.Context, spec Spec, inputPath string, out io.Writer, p *Progress) error {
+		started <- spec.Ref
+		<-ctx.Done()
+		return ctx.Err()
+	}
+}
+
+func newTestManager(t *testing.T, cfg Config, run RunFunc) *Manager {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = filepath.Join(t.TempDir(), "spool")
+	}
+	m, err := NewManager(cfg, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func submit(t *testing.T, m *Manager, ref, body string) Snapshot {
+	t.Helper()
+	snap, err := m.Submit(Spec{Ref: ref, Format: "sam"}, strings.NewReader(body), ".fastq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != Queued || snap.ID == "" {
+		t.Fatalf("submit snapshot %+v", snap)
+	}
+	return snap
+}
+
+// waitState polls until the job reaches want (or fails the test).
+func waitState(t *testing.T, m *Manager, id string, want State) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, ok, _ := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished while waiting for %s", id, want)
+		}
+		if snap.State == want {
+			return snap
+		}
+		if snap.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, snap.State, snap.Error, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return Snapshot{}
+}
+
+func TestJobHappyPath(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1}, echoRun)
+	const body = "@r1\nACGT\n+\nIIII\n"
+	snap := submit(t, m, "chr1", body)
+	snap = waitState(t, m, snap.ID, Done)
+	if snap.ReadsTotal != 1 || snap.ReadsDone != 1 || snap.ReadsFailed != 0 {
+		t.Fatalf("progress %+v", snap)
+	}
+	if snap.ResultBytes != int64(len(body)) {
+		t.Fatalf("result bytes %d, want %d", snap.ResultBytes, len(body))
+	}
+	if snap.StartedAt == nil || snap.FinishedAt == nil {
+		t.Fatalf("missing timestamps: %+v", snap)
+	}
+	path, rsnap, ok, gone := m.ResultPath(snap.ID)
+	if !ok || gone || path == "" || rsnap.State != Done {
+		t.Fatalf("ResultPath: %q %+v ok=%v gone=%v", path, rsnap, ok, gone)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != body {
+		t.Fatalf("result %q != input %q", got, body)
+	}
+	st := m.Stats()
+	if st.Submitted != 1 || st.Done != 1 || st.ReadsDone != 1 || st.ResultBytes != int64(len(body)) {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestJobFailedRunLeavesNoResult(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1}, func(ctx context.Context, spec Spec, in string, out io.Writer, p *Progress) error {
+		io.WriteString(out, "half a result")
+		return errors.New("backend exploded")
+	})
+	snap := submit(t, m, "chr1", "@r\nA\n+\nI\n")
+	snap = waitState(t, m, snap.ID, Failed)
+	if !strings.Contains(snap.Error, "backend exploded") {
+		t.Fatalf("error %q", snap.Error)
+	}
+	// WriteAtomic never renamed the temp file: no result on disk, and
+	// ResultPath refuses to serve one.
+	path, _, _, _ := m.ResultPath(snap.ID)
+	if path != "" {
+		t.Fatalf("failed job has result path %q", path)
+	}
+	entries, err := os.ReadDir(filepath.Join(m.cfg.Dir, snap.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "result.") && !strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("failed job left result file %s", e.Name())
+		}
+	}
+}
+
+// TestCancelQueuedJob: with the single worker parked on job A, queued
+// job B cancels instantly and never runs.
+func TestCancelQueuedJob(t *testing.T) {
+	started := make(chan string, 4)
+	m := newTestManager(t, Config{Workers: 1}, blockingRun(started))
+	a := submit(t, m, "a", "@r\nA\n+\nI\n")
+	<-started // worker is inside A
+	b := submit(t, m, "b", "@r\nA\n+\nI\n")
+	snap, ok := m.Cancel(b.ID)
+	if !ok || snap.State != Canceled {
+		t.Fatalf("cancel queued: ok=%v %+v", ok, snap)
+	}
+	// Release A; the worker must not pick B back up.
+	if snap, ok := m.Cancel(a.ID); !ok || snap.State != Running {
+		t.Fatalf("cancel running returned %+v (ok=%v)", snap, ok)
+	}
+	waitState(t, m, a.ID, Canceled)
+	select {
+	case ref := <-started:
+		t.Fatalf("canceled queued job %q still ran", ref)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if st := m.Stats(); st.Canceled != 2 || st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestCancelMidRunReleasesWorker is the lifecycle edge the ISSUE pins:
+// canceling a running job frees its worker for the next job.
+func TestCancelMidRunReleasesWorker(t *testing.T) {
+	started := make(chan string, 4)
+	m := newTestManager(t, Config{Workers: 1}, blockingRun(started))
+	a := submit(t, m, "a", "@r\nA\n+\nI\n")
+	<-started
+	b := submit(t, m, "b", "@r\nA\n+\nI\n")
+
+	snap, ok := m.Cancel(a.ID)
+	if !ok {
+		t.Fatal("cancel of running job not found")
+	}
+	_ = snap // transition completes when the RunFunc unwinds
+	snap = waitState(t, m, a.ID, Canceled)
+	if snap.Error != "canceled by request" {
+		t.Fatalf("cancel reason %q", snap.Error)
+	}
+	// The released worker must pick up B.
+	select {
+	case ref := <-started:
+		if ref != "b" {
+			t.Fatalf("worker resumed with %q", ref)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never released after cancel")
+	}
+	m.Cancel(b.ID)
+	waitState(t, m, b.ID, Canceled)
+}
+
+// TestSweepDeletesSpool: TTL-expired terminal jobs lose their spool
+// directory and answer gone (the HTTP 410) afterwards.
+func TestSweepDeletesSpool(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1, TTL: 10 * time.Millisecond, SweepEvery: time.Hour}, echoRun)
+	snap := submit(t, m, "chr1", "@r\nA\n+\nI\n")
+	snap = waitState(t, m, snap.ID, Done)
+	jobDir := filepath.Join(m.cfg.Dir, snap.ID)
+	if _, err := os.Stat(jobDir); err != nil {
+		t.Fatalf("spool dir missing before sweep: %v", err)
+	}
+	if n := m.Sweep(); n != 0 {
+		t.Fatalf("sweep before TTL dropped %d jobs", n)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := m.Sweep(); n != 1 {
+		t.Fatalf("sweep after TTL dropped %d jobs, want 1", n)
+	}
+	if _, err := os.Stat(jobDir); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("spool dir survived the sweep: %v", err)
+	}
+	if _, ok, gone := m.Get(snap.ID); ok || !gone {
+		t.Fatalf("swept job: ok=%v gone=%v", ok, gone)
+	}
+	if _, _, ok, gone := m.ResultPath(snap.ID); ok || !gone {
+		t.Fatalf("swept result: ok=%v gone=%v", ok, gone)
+	}
+	if len(m.List()) != 0 {
+		t.Fatalf("List still shows %d jobs", len(m.List()))
+	}
+	if st := m.Stats(); st.Swept != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestRemoveTerminalOnly: DELETE-style purge works on terminal jobs and
+// refuses live ones.
+func TestRemoveTerminalOnly(t *testing.T) {
+	started := make(chan string, 1)
+	m := newTestManager(t, Config{Workers: 1}, blockingRun(started))
+	a := submit(t, m, "a", "@r\nA\n+\nI\n")
+	<-started
+	if found, err := m.Remove(a.ID); !found || !errors.Is(err, ErrNotTerminal) {
+		t.Fatalf("Remove(running): found=%v err=%v", found, err)
+	}
+	m.Cancel(a.ID)
+	waitState(t, m, a.ID, Canceled)
+	if found, err := m.Remove(a.ID); !found || err != nil {
+		t.Fatalf("Remove(terminal): found=%v err=%v", found, err)
+	}
+	if _, ok, gone := m.Get(a.ID); ok || !gone {
+		t.Fatalf("removed job: ok=%v gone=%v", ok, gone)
+	}
+	if found, _ := m.Remove("nonesuch"); found {
+		t.Fatal("Remove invented a job")
+	}
+}
+
+// TestStaleDirRefused: a jobs dir with leftover entries from a previous
+// process is refused with a self-explanatory error, not silently
+// adopted (the in-memory index cannot resurrect those jobs).
+func TestStaleDirRefused(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "spool")
+	if err := os.MkdirAll(filepath.Join(dir, "deadbeef0000"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewManager(Config{Dir: dir}, echoRun)
+	if err == nil {
+		t.Fatal("stale dir accepted")
+	}
+	for _, want := range []string{"stale", dir, "fresh"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+	// An empty pre-existing dir is fine.
+	empty := filepath.Join(t.TempDir(), "empty")
+	if err := os.MkdirAll(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(Config{Dir: empty}, echoRun)
+	if err != nil {
+		t.Fatalf("empty dir refused: %v", err)
+	}
+	m.Close()
+}
+
+// TestBacklogFull: submissions beyond MaxQueued shed with
+// ErrBacklogFull while a worker is pinned.
+func TestBacklogFull(t *testing.T) {
+	started := make(chan string, 1)
+	m := newTestManager(t, Config{Workers: 1, MaxQueued: 2, DrainGrace: 10 * time.Millisecond}, blockingRun(started))
+	submit(t, m, "run", "@r\nA\n+\nI\n")
+	<-started // worker busy; backlog is now free for 2 queued jobs
+	submit(t, m, "q1", "@r\nA\n+\nI\n")
+	submit(t, m, "q2", "@r\nA\n+\nI\n")
+	if _, err := m.Submit(Spec{Ref: "q3", Format: "sam"}, strings.NewReader("@r\nA\n+\nI\n"), ".fastq"); !errors.Is(err, ErrBacklogFull) {
+		t.Fatalf("err %v, want ErrBacklogFull", err)
+	}
+}
+
+// TestCloseDrains: Close cancels queued jobs, gives running jobs the
+// grace period, then interrupts them as failed — and never leaves a
+// result file behind.
+func TestCloseDrains(t *testing.T) {
+	started := make(chan string, 1)
+	m := newTestManager(t, Config{Workers: 1, DrainGrace: 20 * time.Millisecond}, blockingRun(started))
+	run := submit(t, m, "run", "@r\nA\n+\nI\n")
+	<-started
+	queued := submit(t, m, "queued", "@r\nA\n+\nI\n")
+
+	closed := make(chan struct{})
+	go func() { m.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close never returned")
+	}
+
+	rsnap, _, _ := m.Get(run.ID)
+	if rsnap.State != Failed || !strings.Contains(rsnap.Error, "shutdown") {
+		t.Fatalf("running job after drain: %+v", rsnap)
+	}
+	qsnap, _, _ := m.Get(queued.ID)
+	if qsnap.State != Canceled {
+		t.Fatalf("queued job after drain: %+v", qsnap)
+	}
+	if path, _, _, _ := m.ResultPath(run.ID); path != "" {
+		t.Fatalf("drained job kept result %q", path)
+	}
+	if _, err := m.Submit(Spec{Ref: "late", Format: "sam"}, strings.NewReader("@r\nA\n+\nI\n"), ".fastq"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+// TestCloseWaitsForFinishingJob: a running job that completes within
+// the grace period lands as done, not failed.
+func TestCloseWaitsForFinishingJob(t *testing.T) {
+	release := make(chan struct{})
+	var ran atomic.Int64
+	m := newTestManager(t, Config{Workers: 1, DrainGrace: 10 * time.Second},
+		func(ctx context.Context, spec Spec, in string, out io.Writer, p *Progress) error {
+			ran.Add(1)
+			<-release
+			_, err := io.WriteString(out, "result\n")
+			return err
+		})
+	snap := submit(t, m, "finishes", "@r\nA\n+\nI\n")
+	for ran.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() { time.Sleep(20 * time.Millisecond); close(release) }()
+	m.Close()
+	got, _, _ := m.Get(snap.ID)
+	if got.State != Done {
+		t.Fatalf("job drained as %s (%s), want done", got.State, got.Error)
+	}
+}
+
+// TestListOrder: List returns live jobs newest first.
+func TestListOrder(t *testing.T) {
+	started := make(chan string, 4)
+	m := newTestManager(t, Config{Workers: 1}, blockingRun(started))
+	ids := []string{}
+	for i := 0; i < 3; i++ {
+		ids = append(ids, submit(t, m, fmt.Sprintf("ref%d", i), "@r\nA\n+\nI\n").ID)
+	}
+	<-started
+	list := m.List()
+	if len(list) != 3 {
+		t.Fatalf("%d jobs listed", len(list))
+	}
+	for i, snap := range list {
+		if want := ids[len(ids)-1-i]; snap.ID != want {
+			t.Fatalf("list[%d] = %s, want %s", i, snap.ID, want)
+		}
+	}
+	for _, id := range ids {
+		m.Cancel(id)
+	}
+}
+
+// TestSubmitValidation: constructor and Submit argument errors.
+func TestSubmitValidation(t *testing.T) {
+	if _, err := NewManager(Config{}, echoRun); err == nil {
+		t.Fatal("empty Dir accepted")
+	}
+	if _, err := NewManager(Config{Dir: t.TempDir()}, nil); err == nil {
+		t.Fatal("nil RunFunc accepted")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"genasm/server/jobs"
 )
 
 // batchBuckets are the upper bounds of the batch-size histogram buckets
@@ -133,4 +135,19 @@ func (m *Metrics) Snapshot() map[string]any {
 		"reads_mapped_total":   m.readsMapped.Load(),
 		"reads_unmapped_total": m.readsNoCands.Load(),
 	}
+}
+
+// addJobsMetrics folds the bulk lane's counters into a /metrics
+// snapshot as jobs_* fields (present only when the lane is enabled).
+func addJobsMetrics(snap map[string]any, st jobs.Stats) {
+	snap["jobs_submitted_total"] = st.Submitted
+	snap["jobs_done_total"] = st.Done
+	snap["jobs_failed_total"] = st.Failed
+	snap["jobs_canceled_total"] = st.Canceled
+	snap["jobs_swept_total"] = st.Swept
+	snap["jobs_queued"] = st.Queued
+	snap["jobs_running"] = st.Running
+	snap["jobs_reads_done_total"] = st.ReadsDone
+	snap["jobs_reads_failed_total"] = st.ReadsFailed
+	snap["jobs_result_bytes_total"] = st.ResultBytes
 }

@@ -19,6 +19,12 @@
 //   - Backends: /backends lists every registered backend name and the
 //     active backend's capabilities and stats — the engine's
 //     database/sql-style driver registry, surfaced over HTTP.
+//   - Jobs: the asynchronous bulk lane (package server/jobs, enabled by
+//     Config.Jobs.Dir): POST /jobs spools a whole FASTA/FASTQ read set
+//     and returns 202, a bounded worker pool drains it through the same
+//     scheduler in capability-sized batches, and the finished
+//     SAM/PAF/JSON is downloaded from /jobs/{id}/result — byte-identical
+//     to the synchronous /map-align output for the same reads.
 //
 // The scheduler's default flush threshold comes from the engine
 // backend's Capabilities (PreferredBatch), so a GPU- or multi-backed
@@ -44,6 +50,7 @@ import (
 
 	"genasm"
 	"genasm/internal/samfmt"
+	"genasm/server/jobs"
 )
 
 // Config configures a Server.
@@ -62,8 +69,13 @@ type Config struct {
 	// MaxReadsPerRequest bounds one /map-align request (default 1024).
 	MaxReadsPerRequest int
 	// MaxBodyBytes bounds any request body (default 256 MiB — a genome
-	// upload is the big one).
+	// upload or a bulk job submission are the big ones).
 	MaxBodyBytes int64
+	// Jobs configures the asynchronous bulk lane (POST /jobs and
+	// friends). A zero Dir leaves the lane disabled: the endpoints
+	// answer 503. When enabled with Workers == 0, the pool is sized
+	// from the engine backend's Capabilities (Parallelism/4, min 1).
+	Jobs jobs.Config
 }
 
 func (c *Config) fillDefaults() {
@@ -91,6 +103,7 @@ type Server struct {
 	registry    *Registry
 	cache       *Cache
 	metrics     *Metrics
+	jobs        *jobs.Manager // nil when the bulk lane is disabled
 	mux         *http.ServeMux
 }
 
@@ -121,6 +134,26 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /backends", s.handleBackends)
+	s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobDelete)
+	if cfg.Jobs.Dir != "" {
+		if cfg.Jobs.Workers <= 0 {
+			// Each bulk worker submits capability-sized batches, so a
+			// fraction of the backend's parallelism saturates it while
+			// leaving the interactive lane headroom.
+			cfg.Jobs.Workers = max(1, eng.Capabilities().Parallelism/4)
+		}
+		mgr, err := jobs.NewManager(cfg.Jobs, s.runBulkJob)
+		if err != nil {
+			s.sched.Close()
+			return nil, err
+		}
+		s.jobs = mgr
+		s.cfg.Jobs = cfg.Jobs
+	}
 	return s, nil
 }
 
@@ -138,9 +171,22 @@ func (s *Server) Handler() http.Handler {
 	})
 }
 
-// Close drains the scheduler: in-flight and pending batches finish,
-// subsequent submissions fail. Call after the http.Server has shut down.
-func (s *Server) Close() { s.sched.Close() }
+// Close drains the service. The bulk job lane drains first (queued jobs
+// cancel; running jobs get the configured grace to finish, after which
+// they are checkpointed as failed — result files are atomic either
+// way), then the scheduler flushes its in-flight and pending batches.
+// Subsequent submissions on either lane fail. Call after the
+// http.Server has shut down.
+func (s *Server) Close() {
+	if s.jobs != nil {
+		s.jobs.Close()
+	}
+	s.sched.Close()
+}
+
+// Jobs returns the bulk-lane job manager, or nil when the lane is
+// disabled (no jobs directory configured).
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // Engine returns the shared alignment engine.
 func (s *Server) Engine() *genasm.Engine { return s.eng }
@@ -355,22 +401,7 @@ func (s *Server) handleMapAlign(w http.ResponseWriter, r *http.Request) {
 	}
 	results := make([]MappedRead, len(aligned))
 	for i, ar := range aligned {
-		results[i] = MappedRead{Read: req.Reads[i].Name}
-		switch {
-		case ar.err != nil:
-			results[i].Error = ar.err.Error()
-		case ar.unmapped:
-			results[i].Unmapped = true
-		default:
-			results[i].Alignments = make([]MapAlignment, len(ar.mals))
-			for rank, m := range ar.mals {
-				results[i].Alignments[rank] = MapAlignment{
-					Rank: rank, RefStart: m.Candidate.Start, RefEnd: m.Candidate.End,
-					RevComp: m.Candidate.RevComp, ChainScore: m.Candidate.Score,
-					AlignResult: toAlignResult(m.Result, ar.cached[rank]),
-				}
-			}
-		}
+		results[i] = toMappedRead(req.Reads[i].Name, ar)
 	}
 	writeJSON(w, http.StatusOK, MapAlignResponse{Ref: req.Ref, Results: results})
 }
@@ -501,9 +532,7 @@ func (s *Server) streamMapAlign(w http.ResponseWriter, r *http.Request, ref *Ref
 	// the first one, a failure can still use a real HTTP status code
 	// (a PAF stream whose early chunks are all unmapped writes nothing).
 	cw := &countingWriter{w: w}
-	sw := samfmt.NewWriter(cw, format, []samfmt.Ref{sref}, samfmt.Program{
-		Name: "genasm-serve", CommandLine: "POST /map-align?format=" + string(format),
-	})
+	sw := samfmt.NewWriter(cw, format, []samfmt.Ref{sref}, samProgram(format))
 	flusher, _ := w.(http.Flusher)
 	readErrs := 0
 	for start := 0; start < len(req.Reads); start += streamChunk {
@@ -530,10 +559,7 @@ func (s *Server) streamMapAlign(w http.ResponseWriter, r *http.Request, ref *Ref
 				continue
 			}
 			if ar.unmapped {
-				_ = sw.Write(sref, genasm.MappedAlignment{
-					Read:     genasm.Read{Name: chunk[i].Name, Seq: []byte(chunk[i].Seq), Qual: []byte(chunk[i].Qual)},
-					Unmapped: true,
-				})
+				_ = sw.Write(sref, unmappedAlignment(chunk[i]))
 				continue
 			}
 			for _, m := range ar.mals {
@@ -628,6 +654,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if bs.GPU != nil {
 		snap["backend_gpu_last_launch"] = bs.GPU
 	}
+	if s.jobs != nil {
+		addJobsMetrics(snap, s.jobs.Stats())
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -648,6 +677,26 @@ func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
 }
 
 // ---- helpers ----
+
+// samProgram is the @PG header both SAM/PAF-producing lanes share. The
+// bulk job lane deliberately reuses the interactive lane's line so the
+// two surfaces emit byte-identical output for the same reads (pinned by
+// TestJobSAMByteIdenticalToSync) — downstream diffing and caching never
+// see a lane-dependent header.
+func samProgram(format samfmt.Format) samfmt.Program {
+	return samfmt.Program{
+		Name: "genasm-serve", CommandLine: "POST /map-align?format=" + string(format),
+	}
+}
+
+// unmappedAlignment wraps one request read as an unmapped emission for
+// the SAM writer (FLAG 4; PAF drops it).
+func unmappedAlignment(rd ReadIn) genasm.MappedAlignment {
+	return genasm.MappedAlignment{
+		Read:     genasm.Read{Name: rd.Name, Seq: []byte(rd.Seq), Qual: []byte(rd.Qual)},
+		Unmapped: true,
+	}
+}
 
 func toAlignResult(r genasm.Result, cached bool) AlignResult {
 	return AlignResult{
