@@ -2,6 +2,7 @@ package genasm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -133,7 +134,7 @@ func (b *cpuBackend) AlignBatch(ctx context.Context, _ Config, pairs []Pair) ([]
 		if err == nil {
 			continue
 		}
-		if err == context.Canceled || err == context.DeadlineExceeded {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			ctxErr = err
 			continue
 		}

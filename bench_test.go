@@ -140,6 +140,7 @@ func BenchmarkEngineAlignBatch(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.AlignBatch(context.Background(), pairs); err != nil {
@@ -171,6 +172,7 @@ func BenchmarkEngineMapAlign(b *testing.B) {
 	for i, r := range w.Reads {
 		reads[i] = genasm.Read{Name: r.Name, Seq: r.Seq}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		out, err := eng.MapAlign(context.Background(), genasm.StreamReads(reads))
@@ -492,6 +494,8 @@ func TestBenchJSON(t *testing.T) {
 		Name             string  `json:"name"`
 		NsPerOp          int64   `json:"ns_per_op"`
 		AlignmentsPerSec float64 `json:"alignments_per_sec"`
+		AllocsPerOp      int64   `json:"allocs_per_op"`
+		BytesPerOp       int64   `json:"bytes_per_op"`
 		ShardsPerBatch   float64 `json:"shards_per_batch,omitempty"`
 	}
 	var entries []entry
@@ -501,6 +505,7 @@ func TestBenchJSON(t *testing.T) {
 			t.Fatal(err)
 		}
 		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := eng.AlignBatch(context.Background(), pairs); err != nil {
 					b.Fatal(err)
@@ -511,21 +516,28 @@ func TestBenchJSON(t *testing.T) {
 			Name:             "EngineAlignBatch/" + name,
 			NsPerOp:          r.NsPerOp(),
 			AlignmentsPerSec: float64(len(pairs)) * float64(r.N) / r.T.Seconds(),
+			AllocsPerOp:      r.AllocsPerOp(),
+			BytesPerOp:       r.AllocedBytesPerOp(),
 		}
 		if st := eng.BackendStats(); st.Shards > 0 && st.Batches > 0 {
 			e.ShardsPerBatch = float64(st.Shards) / float64(st.Batches)
 		}
 		entries = append(entries, e)
 	}
-	r := testing.Benchmark(func(b *testing.B) { benchSchedulerSubmit(b, pairs) })
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		benchSchedulerSubmit(b, pairs)
+	})
 	entries = append(entries, entry{
 		Name:             "SchedulerCoalesce",
 		NsPerOp:          r.NsPerOp(),
 		AlignmentsPerSec: float64(r.N) / r.T.Seconds(), // one pair per op
+		AllocsPerOp:      r.AllocsPerOp(),
+		BytesPerOp:       r.AllocedBytesPerOp(),
 	})
 
 	report := map[string]any{
-		"schema":     1,
+		"schema":     2,
 		"go":         runtime.Version(),
 		"gomaxprocs": runtime.GOMAXPROCS(0),
 		"workload": map[string]any{
@@ -559,6 +571,7 @@ func BenchmarkWindowAlign(b *testing.B) {
 	}
 	b.Run("improved", func(b *testing.B) {
 		a, _ := core.New(core.DefaultConfig())
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := a.AlignWindow(p, tx); err != nil {
 				b.Fatal(err)
@@ -567,6 +580,7 @@ func BenchmarkWindowAlign(b *testing.B) {
 	})
 	b.Run("unimproved", func(b *testing.B) {
 		a, _ := baseline.New(baseline.DefaultConfig())
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := a.AlignWindow(p, tx); err != nil {
 				b.Fatal(err)

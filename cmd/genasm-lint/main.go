@@ -1,0 +1,140 @@
+// Command genasm-lint runs the project's static-analysis suite
+// (internal/lint) over the module: hotalloc, ctxflow, errcmp and
+// locksafe. It prints one file:line:col diagnostic per unsuppressed
+// finding and exits 1 if there are any, 2 on load/type-check failure.
+//
+// Usage:
+//
+//	genasm-lint [-C dir] [-hot pkg,pkg,...] [packages]
+//
+// Packages are module-relative directories ("./server", "internal/core")
+// or "./..." for the whole module (the default). Intentional findings
+// are suppressed in source with a reasoned directive:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// See docs/LINTING.md for the analyzer catalogue and the suppression
+// policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"genasm/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("genasm-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "run as if started in this directory")
+	hot := fs.String("hot", "", "comma-separated hot-path package override for hotalloc (default: the kernel packages)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: genasm-lint [-C dir] [-hot pkgs] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	root, err := findModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "genasm-lint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "genasm-lint:", err)
+		return 2
+	}
+
+	var hotPkgs []string
+	if *hot != "" {
+		hotPkgs = strings.Split(*hot, ",")
+	}
+	analyzers := lint.Default(hotPkgs)
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		got, err := loadPattern(loader, *dir, pat)
+		if err != nil {
+			fmt.Fprintln(stderr, "genasm-lint:", err)
+			return 2
+		}
+		pkgs = append(pkgs, got...)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		rel := d
+		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel.Pos.Filename = r
+		}
+		fmt.Fprintln(stdout, rel)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "genasm-lint: %d finding(s); fix or add a reasoned %s\n", len(diags), lint.AllowDirective)
+		return 1
+	}
+	return 0
+}
+
+// loadPattern resolves one package pattern: "./..." (or "all") loads the
+// whole module, "dir/..." loads a subtree, anything else is a single
+// module-relative directory.
+func loadPattern(loader *lint.Loader, cwd, pat string) ([]*lint.Package, error) {
+	switch pat {
+	case "./...", "...", "all":
+		return loader.LoadAll()
+	}
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		return loader.LoadTree(filepath.Join(cwd, rest))
+	}
+	abs, err := filepath.Abs(filepath.Join(cwd, pat))
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(loader.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("package %q is outside module %s", pat, loader.ModulePath)
+	}
+	ip := loader.ModulePath
+	if rel != "." {
+		ip += "/" + filepath.ToSlash(rel)
+	}
+	pkg, err := loader.Load(ip)
+	if err != nil {
+		return nil, err
+	}
+	return []*lint.Package{pkg}, nil
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found in or above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the CI lint gate in test form: the suite must exit
+// 0 over this repository, meaning every pre-existing finding is either
+// fixed or carries a reasoned //lint:allow.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	var out, errb strings.Builder
+	code := run([]string{"-C", "../.."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("genasm-lint exited %d on the repository:\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+// writeTempModule lays out a throwaway module named genasm (so the
+// default hot-path package list applies) with one internal/core file.
+func writeTempModule(t *testing.T, coreSrc string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module genasm\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	coreDir := filepath.Join(dir, "internal", "core")
+	if err := os.MkdirAll(coreDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(coreDir, "core.go"), []byte(coreSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestInjectedViolationFails proves the CI lint job has teeth: inject a
+// loop allocation into internal/core and the driver must exit non-zero
+// naming hotalloc.
+func TestInjectedViolationFails(t *testing.T) {
+	dir := writeTempModule(t, `package core
+
+func Kernel(n int) []uint64 {
+	var rows []uint64
+	for d := 0; d < n; d++ {
+		row := make([]uint64, n)
+		rows = append(rows, row[0])
+	}
+	return rows
+}
+`)
+	var out, errb strings.Builder
+	code := run([]string{"-C", dir, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	for _, wantSub := range []string{"hotalloc", "make inside loop", "append inside loop"} {
+		if !strings.Contains(out.String(), wantSub) {
+			t.Errorf("diagnostics missing %q:\n%s", wantSub, out.String())
+		}
+	}
+}
+
+// TestSuppressedViolationPasses: the same injection with reasoned
+// directives exits 0.
+func TestSuppressedViolationPasses(t *testing.T) {
+	dir := writeTempModule(t, `package core
+
+func Kernel(n int) []uint64 {
+	var rows []uint64
+	for d := 0; d < n; d++ {
+		//lint:allow hotalloc fixture: justified scratch growth
+		row := make([]uint64, n)
+		//lint:allow hotalloc fixture: justified amortized append
+		rows = append(rows, row[0])
+	}
+	return rows
+}
+`)
+	var out, errb strings.Builder
+	if code := run([]string{"-C", dir, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s", code, out.String())
+	}
+}
+
+// TestUnreasonedSuppressionFails: a directive without a reason both
+// reports itself and fails to suppress.
+func TestUnreasonedSuppressionFails(t *testing.T) {
+	dir := writeTempModule(t, `package core
+
+func Kernel(n int) []uint64 {
+	var rows []uint64
+	for d := 0; d < n; d++ {
+		//lint:allow hotalloc
+		rows = append(rows, uint64(d))
+	}
+	return rows
+}
+`)
+	var out, errb strings.Builder
+	if code := run([]string{"-C", dir, "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "must state a reason") {
+		t.Errorf("missing directive-hygiene diagnostic:\n%s", out.String())
+	}
+}
+
+// TestSinglePackagePattern: explicit package arguments narrow the run.
+func TestSinglePackagePattern(t *testing.T) {
+	dir := writeTempModule(t, `package core
+
+func Kernel(n int) []uint64 {
+	var rows []uint64
+	for d := 0; d < n; d++ {
+		rows = append(rows, uint64(d))
+	}
+	return rows
+}
+`)
+	// Lint only internal/core: finds the violation.
+	var out, errb strings.Builder
+	if code := run([]string{"-C", dir, "internal/core"}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	// Override the hot list away from internal/core: nothing to find.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-C", dir, "-hot", "genasm/internal/other", "internal/core"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s", code, out.String())
+	}
+}
+
+// TestBrokenCodeExitsTwo: load/type errors are distinct from findings.
+func TestBrokenCodeExitsTwo(t *testing.T) {
+	dir := writeTempModule(t, "package core\n\nfunc Kernel( {\n")
+	var out, errb strings.Builder
+	if code := run([]string{"-C", dir, "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}

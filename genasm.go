@@ -209,5 +209,6 @@ func AlignBatch(cfg Config, pairs []Pair, threads int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow ctxflow deprecated pre-Engine shim has no ctx parameter to thread; callers wanting cancellation migrate to Engine.AlignBatch
 	return eng.AlignBatch(context.Background(), pairs)
 }

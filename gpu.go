@@ -58,6 +58,7 @@ func AlignBatchGPU(cfg GPUConfig, pairs []Pair) ([]Result, GPUStats, error) {
 	if err != nil {
 		return nil, GPUStats{}, err
 	}
+	//lint:allow ctxflow deprecated pre-Engine shim has no ctx parameter to thread; callers wanting cancellation migrate to Engine.AlignBatch
 	results, err := eng.AlignBatch(context.Background(), pairs)
 	if err != nil {
 		return nil, GPUStats{}, err

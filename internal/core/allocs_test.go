@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Steady-state allocation regression tests. The kernels keep all DP
+// state in per-aligner scratch (scratch64, mwScratch), so after warm-up
+// an alignment should allocate only the result cigar — never automaton
+// rows, masks, or table entries. These tests pin measured upper bounds;
+// a regression here means a scratch-reuse path was broken (for example
+// an ensureV call replaced by a fresh bitvec.New, or table rows no
+// longer recycled across windows).
+//
+// The bounds are upper limits with ~50% headroom over measured values
+// on go1.24/amd64, not exact pins, so they tolerate minor toolchain
+// variation without going stale.
+
+// allocPair builds a (read, reference) pair of length n with the given
+// substitution rate.
+func allocPair(n int, rate float64, seed int64) (p, t []byte) {
+	rng := rand.New(rand.NewSource(seed))
+	ref := make([]byte, n)
+	for i := range ref {
+		ref[i] = byte(rng.Intn(4))
+	}
+	read := append([]byte(nil), ref...)
+	for i := range read {
+		if rng.Float64() < rate {
+			read[i] = byte(rng.Intn(4))
+		}
+	}
+	return read, ref
+}
+
+// measureAllocs warms the aligner's scratch, then reports the average
+// allocations of fn across runs.
+func measureAllocs(t *testing.T, warm, fn func()) float64 {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		warm()
+	}
+	return testing.AllocsPerRun(20, fn)
+}
+
+// TestWindowKernelAllocs pins the single-window kernel paths: the fast
+// 64-bit path (dc64.go) and the multi-word path (multiword.go). The
+// only steady-state allocations are the traceback's result cigar.
+func TestWindowKernelAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		w, o, k int
+		max     float64
+	}{
+		// Measured 2.0: cigar run-length growth during traceback.
+		{"dc64", 64, 24, 12, 4},
+		// Measured 4.0: cigar growth; all bitvec state comes from mwScratch.
+		{"multiword", 128, 48, 12, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, txt := allocPair(tc.w, 0.02, 7)
+			a, err := New(Config{W: tc.w, O: tc.o, InitialK: tc.k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func() {
+				if _, err := a.AlignWindow(p, txt); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := measureAllocs(t, run, run); got > tc.max {
+				t.Errorf("window kernel %s: %.1f allocs/op, want <= %.0f (scratch reuse regressed)", tc.name, got, tc.max)
+			}
+		})
+	}
+}
+
+// TestPipelineAllocs pins the full windowed pipeline (AlignWindowed over
+// a 1 kb read). Per-window cigar commits (Append/Slice/Concat) dominate;
+// the kernels themselves contribute almost nothing.
+func TestPipelineAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		w, o, k int
+		max     float64
+	}{
+		// Measured 159.0 across ~25 windows.
+		{"dc64", 64, 24, 12, 240},
+		// Measured 89.0 across ~12 windows (was 1091 before mwScratch
+		// capacity reuse tolerated the final partial window's smaller m).
+		{"multiword", 128, 48, 12, 140},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, txt := allocPair(1000, 0.02, 42)
+			a, err := New(Config{W: tc.w, O: tc.o, InitialK: tc.k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func() {
+				if _, err := a.AlignEncoded(p, txt); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := measureAllocs(t, run, run); got > tc.max {
+				t.Errorf("pipeline %s: %.1f allocs/op, want <= %.0f (scratch reuse regressed)", tc.name, got, tc.max)
+			}
+		})
+	}
+}

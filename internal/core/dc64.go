@@ -224,6 +224,7 @@ func dc64(mk *masks64, tRev []byte, k int, cfg Config, scratch *scratch64, c *st
 			rowCur[i] = cur
 			prev = cur
 		}
+		//lint:allow hotalloc appends into the scratch-backed rows slice; amortized to zero across windows
 		t.rows = append(t.rows, drow)
 		if solved < 0 && rowCur[n]>>uint(m-1)&1 == 0 {
 			solved = d
@@ -333,6 +334,7 @@ func (s *scratch64) row(which, n int) []uint64 {
 
 func (s *scratch64) tableRow(d, n int) []uint64 {
 	for len(s.table) <= d {
+		//lint:allow hotalloc one-time scratch growth per new error depth, amortized to zero across windows
 		s.table = append(s.table, nil)
 	}
 	if cap(s.table[d]) < n {

@@ -25,12 +25,30 @@ type masksMW struct {
 	m  int
 }
 
-func buildMasksMW(pRev []byte) masksMW {
+// ensureV makes *v a width-m vector, reusing its backing words whenever
+// their capacity suffices (the final partial window of every alignment
+// has a smaller m, so an equality check alone would rebuild all scratch
+// twice per Align call). The resized vector's bits are unspecified;
+// every caller fully overwrites it (Fill/Copy/Shl1/And4) before reading.
+func ensureV(v *bitvec.V, m int) {
+	words := bitvec.Words(m)
+	if v.Width == m && len(v.W) == words {
+		return
+	}
+	if cap(v.W) >= words {
+		v.Width = m
+		v.W = v.W[:words]
+		return
+	}
+	*v = bitvec.New(m)
+}
+
+// buildInto (re)builds the pattern masks for pRev in place.
+func (mk *masksMW) buildInto(pRev []byte) {
 	m := len(pRev)
-	var mk masksMW
 	mk.m = m
 	for c := 0; c < dna.Alphabet; c++ {
-		mk.pm[c] = bitvec.New(m)
+		ensureV(&mk.pm[c], m)
 		mk.pm[c].Fill(true)
 	}
 	for j, pc := range pRev {
@@ -38,16 +56,15 @@ func buildMasksMW(pRev []byte) masksMW {
 			mk.pm[pc].SetBit(j, 0)
 		}
 	}
-	return mk
 }
 
-func (mk *masksMW) initRow(d int) bitvec.V {
-	v := bitvec.New(mk.m)
+// initRowInto writes the error-level-d initial automaton state into v
+// (v must already have width mk.m).
+func (mk *masksMW) initRowInto(v bitvec.V, d int) {
 	v.Fill(true)
 	for j := 0; j < d && j < mk.m; j++ {
 		v.SetBit(j, 0)
 	}
-	return v
 }
 
 type tableMW struct {
@@ -92,33 +109,60 @@ func (t *tableMW) edgeBit(e, d, i, j int, w *windowAligner) uint {
 type mwScratch struct {
 	rowPrev, rowCur []bitvec.V
 	tM, tS, tD, tI  bitvec.V
+	mk              masksMW      // pattern masks, rebuilt in place per window
+	rows            [][]bitvec.V // stored table rows, reused across windows
+	table           [][]bitvec.V // backing rows, grown on demand
 }
 
 func (s *mwScratch) prepare(m, n int) {
 	need := n + 1
-	if len(s.rowPrev) < need || (len(s.rowPrev) > 0 && s.rowPrev[0].Width != m) {
-		s.rowPrev = make([]bitvec.V, need)
-		s.rowCur = make([]bitvec.V, need)
-		for i := 0; i < need; i++ {
-			s.rowPrev[i] = bitvec.New(m)
-			s.rowCur[i] = bitvec.New(m)
-		}
-		s.tM = bitvec.New(m)
-		s.tS = bitvec.New(m)
-		s.tD = bitvec.New(m)
-		s.tI = bitvec.New(m)
+	if cap(s.rowPrev) < need {
+		grown := make([]bitvec.V, need)
+		copy(grown, s.rowPrev)
+		s.rowPrev = grown
+		grown = make([]bitvec.V, need)
+		copy(grown, s.rowCur)
+		s.rowCur = grown
+	} else {
+		s.rowPrev = s.rowPrev[:need]
+		s.rowCur = s.rowCur[:need]
 	}
+	for i := 0; i < need; i++ {
+		ensureV(&s.rowPrev[i], m)
+		ensureV(&s.rowCur[i], m)
+	}
+	ensureV(&s.tM, m)
+	ensureV(&s.tS, m)
+	ensureV(&s.tD, m)
+	ensureV(&s.tI, m)
+}
+
+// tableRow hands out the reusable backing slice for table row d (the
+// multi-word twin of scratch64.tableRow). Every element is overwritten
+// by the caller's text loop, so stale vectors from the previous window
+// are never read.
+func (s *mwScratch) tableRow(d, n int) []bitvec.V {
+	for len(s.table) <= d {
+		//lint:allow hotalloc one-time scratch growth per new error depth, amortized to zero across windows
+		s.table = append(s.table, nil)
+	}
+	if cap(s.table[d]) < n {
+		s.table[d] = make([]bitvec.V, n)
+	}
+	return s.table[d][:n]
 }
 
 // alignWindowMW aligns the reversed window buffers of w at error budget k.
 func (w *windowAligner) alignWindowMW(k int) (int, cigar.Cigar, int, bool, error) {
-	mk := buildMasksMW(w.pRevBuf)
+	mk := &w.mw.mk
+	mk.buildInto(w.pRevBuf)
 	m, n := mk.m, len(w.tRevBuf)
 	cfg := w.cfg
 	t := &tableMW{
 		m: m, n: n, k: k,
 		entries: !cfg.DisableSENE,
 		banded:  !cfg.DisableDENT,
+		rows:    w.mw.rows[:0],
 	}
 	entryBits := uint64(m)
 	wordsPerEntry := uint64(bitvec.Words(m))
@@ -134,12 +178,12 @@ func (w *windowAligner) alignWindowMW(k int) (int, cigar.Cigar, int, bool, error
 
 	solved := -1
 	for d := 0; d <= k; d++ {
-		rowCur[0].Copy(mk.initRow(d))
+		mk.initRowInto(rowCur[0], d)
 		var drow []bitvec.V
 		if t.entries {
-			drow = make([]bitvec.V, n)
+			drow = w.mw.tableRow(d, n)
 		} else {
-			drow = make([]bitvec.V, 4*n)
+			drow = w.mw.tableRow(d, 4*n)
 		}
 		for i := 1; i <= n; i++ {
 			pmt := mk.pm[w.tRevBuf[i-1]]
@@ -154,7 +198,8 @@ func (w *windowAligner) alignWindowMW(k int) (int, cigar.Cigar, int, bool, error
 				rowCur[i].And4(w.mw.tM, w.mw.tS, w.mw.tD, w.mw.tI)
 			}
 			if t.entries {
-				drow[i-1] = rowCur[i].Clone()
+				ensureV(&drow[i-1], m)
+				drow[i-1].Copy(rowCur[i])
 				if t.banded {
 					w.counters.AddWrite(1, t.storeBytes)
 				} else {
@@ -163,36 +208,43 @@ func (w *windowAligner) alignWindowMW(k int) (int, cigar.Cigar, int, bool, error
 				w.counters.AddFootprint(entryBits)
 			} else {
 				e := drow[4*(i-1):]
-				e[edgeM] = w.mw.tM.Clone()
+				ensureV(&e[edgeM], m)
+				e[edgeM].Copy(w.mw.tM)
+				for _, idx := range [3]int{edgeS, edgeD, edgeI} {
+					ensureV(&e[idx], m)
+				}
 				if d == 0 {
-					ones := bitvec.New(m)
-					ones.Fill(true)
-					e[edgeS], e[edgeD], e[edgeI] = ones, ones.Clone(), ones.Clone()
+					e[edgeS].Fill(true)
+					e[edgeD].Fill(true)
+					e[edgeI].Fill(true)
 				} else {
-					e[edgeS] = w.mw.tS.Clone()
-					e[edgeD] = w.mw.tD.Clone()
-					e[edgeI] = w.mw.tI.Clone()
+					e[edgeS].Copy(w.mw.tS)
+					e[edgeD].Copy(w.mw.tD)
+					e[edgeI].Copy(w.mw.tI)
 				}
 				w.counters.AddWrite(4*wordsPerEntry, 8)
 				w.counters.AddFootprint(4 * uint64(m))
 			}
 		}
+		//lint:allow hotalloc appends into the scratch-backed rows slice; amortized to zero across windows
 		t.rows = append(t.rows, drow)
 		if solved < 0 && rowCur[n].Bit(m-1) == 0 {
 			solved = d
 			if !cfg.DisableET {
 				w.counters.AddRows(uint64(d+1), uint64(k-d))
-				cg, used, err := w.tracebackMW(t, &mk, d)
+				w.mw.rows = t.rows
+				cg, used, err := w.tracebackMW(t, mk, d)
 				return d, cg, used, true, err
 			}
 		}
 		rowPrev, rowCur = rowCur, rowPrev
 	}
+	w.mw.rows = t.rows
 	w.counters.AddRows(uint64(len(t.rows)), 0)
 	if solved < 0 {
 		return 0, nil, 0, false, nil
 	}
-	cg, used, err := w.tracebackMW(t, &mk, solved)
+	cg, used, err := w.tracebackMW(t, mk, solved)
 	return solved, cg, used, true, err
 }
 

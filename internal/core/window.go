@@ -88,9 +88,15 @@ func (w *windowAligner) alignWindow(p, t []byte) (WindowResult, error) {
 	}
 }
 
+// reverseInto fills dst with src reversed, reusing dst's backing array
+// when its capacity suffices, so the steady state is allocation-free.
 func reverseInto(dst, src []byte) []byte {
-	for i := len(src) - 1; i >= 0; i-- {
-		dst = append(dst, src[i])
+	if cap(dst) < len(src) {
+		dst = make([]byte, len(src))
+	}
+	dst = dst[:len(src)]
+	for i, b := range src {
+		dst[len(src)-1-i] = b
 	}
 	return dst
 }

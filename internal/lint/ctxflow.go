@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow returns the ctxflow analyzer. Library code (any non-main
+// package; test files are never loaded) must not mint its own root
+// context: context.Background() and context.TODO() sever the caller's
+// cancellation and deadline chain, which is exactly what the engine's
+// ctx-aware AlignBatch/MapAlign contract exists to preserve. A call
+// site inside a function that already holds a context.Context parameter
+// gets the sharper "thread it" diagnostic, enforcing that a held ctx
+// flows to callees that accept one.
+func CtxFlow() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "forbids context.Background()/TODO() in library code",
+		Run: func(pass *Pass) {
+			if pass.Pkg.Types.Name() == "main" {
+				return // binaries own their root context
+			}
+			for _, f := range pass.Pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					ctxParam := ctxParamName(pass, fd)
+					ast.Inspect(fd.Body, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						name := rootCtxCall(pass, call)
+						if name == "" {
+							return true
+						}
+						if ctxParam != "" {
+							pass.Reportf(call.Pos(), "context.%s() severs the caller's context; thread the function's %q parameter instead", name, ctxParam)
+						} else {
+							pass.Reportf(call.Pos(), "context.%s() in library code; accept a context.Context from the caller", name)
+						}
+						return true
+					})
+				}
+			}
+		},
+	}
+}
+
+// rootCtxCall reports whether call is context.Background() or
+// context.TODO(), returning the function name or "".
+func rootCtxCall(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	switch fn.FullName() {
+	case "context.Background":
+		return "Background"
+	case "context.TODO":
+		return "TODO"
+	}
+	return ""
+}
+
+// ctxParamName returns the name of fd's first context.Context parameter,
+// or "" if it has none (blank parameters do not count).
+func ctxParamName(pass *Pass, fd *ast.FuncDecl) string {
+	if fd.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pass.Pkg.Info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ErrCmp returns the errcmp analyzer. Two rules:
+//
+//  1. Sentinel errors are matched with errors.Is, never == or != — a
+//     wrapped sentinel (fmt.Errorf("...: %w", ErrX)) fails identity
+//     comparison silently. Flagged: ==/!= (and switch cases) where one
+//     side is a package-level error variable; err == nil stays legal.
+//  2. fmt.Errorf that formats an error argument must wrap it with %w,
+//     not stringify it with %v/%s, so the cause stays matchable.
+func ErrCmp() *Analyzer {
+	return &Analyzer{
+		Name: "errcmp",
+		Doc:  "enforces errors.Is over sentinel ==/!= and %w over %v in fmt.Errorf",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.BinaryExpr:
+						checkErrCompare(pass, n)
+					case *ast.SwitchStmt:
+						checkErrSwitch(pass, n)
+					case *ast.CallExpr:
+						checkErrorfWrap(pass, n)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// checkErrCompare flags x == y / x != y where either side is a sentinel
+// error value.
+func checkErrCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		if name := sentinelError(pass, pair[0]); name != "" && isErrorType(pass, pair[1]) {
+			verb := "errors.Is(err, " + name + ")"
+			if be.Op == token.NEQ {
+				verb = "!" + verb
+			}
+			pass.Reportf(be.Pos(), "sentinel error compared with %s; use %s so wrapped errors match", be.Op, verb)
+			return
+		}
+	}
+}
+
+// checkErrSwitch flags `switch err { case ErrX: }` over an error tag.
+func checkErrSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || !isErrorType(pass, sw.Tag) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name := sentinelError(pass, e); name != "" {
+				pass.Reportf(e.Pos(), "switch on error compares sentinel %s by identity; use switch { case errors.Is(err, %s): }", name, name)
+			}
+		}
+	}
+}
+
+// sentinelError returns the display name of e when it denotes a
+// package-level variable of type error (the sentinel pattern), else "".
+func sentinelError(pass *Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	v, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return ""
+	}
+	// Package-level: declared directly in the package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !isErrorInterface(v.Type()) {
+		return ""
+	}
+	if v.Pkg().Path() == pass.Pkg.ImportPath {
+		return v.Name()
+	}
+	return v.Pkg().Name() + "." + v.Name()
+}
+
+// isErrorType reports whether e's static type is error (the interface).
+func isErrorType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isErrorInterface(tv.Type)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorInterface reports whether t implements the error interface.
+func isErrorInterface(t types.Type) bool {
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error argument
+// with a stringifying verb instead of %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	verbs := formatVerbs(format)
+	for i, v := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if v == 'w' {
+			continue
+		}
+		at := pass.Pkg.Info.Types[call.Args[argIdx]].Type
+		if at == nil || !isErrorInterface(at) {
+			continue
+		}
+		pass.Reportf(call.Args[argIdx].Pos(), "fmt.Errorf formats an error with %%%c; use %%w so the cause stays matchable with errors.Is", v)
+	}
+}
+
+// formatVerbs returns the verb letter for each argument a Printf-style
+// format string consumes, in order. A '*' width/precision consumes an
+// argument of its own and is recorded as '*'.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '#' || c == '+' || c == '-' || c == ' ' || c == '0' || c == '.' ||
+				(c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue // %% literal
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs
+}

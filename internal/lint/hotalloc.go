@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc returns the hotalloc analyzer scoped to the given package
+// import paths. Inside any loop of a hot package it flags the
+// allocation shapes that silently break the kernels' steady-state
+// alloc-freedom:
+//
+//   - make / new
+//   - append (growth may reallocate the backing array)
+//   - string <-> []byte conversions (always copy)
+//   - interface boxing: a non-pointer concrete value converted to an
+//     interface type, including variadic ...any arguments
+//   - func literals (closure allocation per iteration)
+//
+// Code that can run at most once per call — arguments of return
+// statements and of panic — is cold by construction and exempt, so
+// error-path fmt.Errorf calls inside kernels do not need suppressions.
+// Allocation hidden behind a function call in another package is out of
+// scope; the AllocsPerRun regression tests in internal/core cover that
+// residual.
+func HotAlloc(hotPkgs []string) *Analyzer {
+	hot := make(map[string]bool, len(hotPkgs))
+	for _, p := range hotPkgs {
+		hot[p] = true
+	}
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc:  "flags allocations inside loops of hot-path packages",
+		Run: func(pass *Pass) {
+			if !hot[pass.Pkg.ImportPath] {
+				return
+			}
+			for _, f := range pass.Pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					ha := &hotAllocWalker{pass: pass}
+					ha.stmt(fd.Body, false)
+				}
+			}
+		},
+	}
+}
+
+type hotAllocWalker struct {
+	pass *Pass
+}
+
+// stmt walks one statement with the given in-loop state.
+func (w *hotAllocWalker) stmt(s ast.Stmt, inLoop bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.stmt(st, inLoop)
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init, inLoop)
+		w.expr(s.Cond, true) // evaluated every iteration
+		w.stmt(s.Post, true)
+		w.stmt(s.Body, true)
+	case *ast.RangeStmt:
+		w.expr(s.X, inLoop) // evaluated once
+		w.stmt(s.Body, true)
+	case *ast.IfStmt:
+		w.stmt(s.Init, inLoop)
+		w.expr(s.Cond, inLoop)
+		w.stmt(s.Body, inLoop)
+		w.stmt(s.Else, inLoop)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, inLoop)
+		w.expr(s.Tag, inLoop)
+		w.stmt(s.Body, inLoop)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, inLoop)
+		w.stmt(s.Assign, inLoop)
+		w.stmt(s.Body, inLoop)
+	case *ast.SelectStmt:
+		w.stmt(s.Body, inLoop)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e, inLoop)
+		}
+		for _, st := range s.Body {
+			w.stmt(st, inLoop)
+		}
+	case *ast.CommClause:
+		w.stmt(s.Comm, inLoop)
+		for _, st := range s.Body {
+			w.stmt(st, inLoop)
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, inLoop)
+	case *ast.ReturnStmt:
+		// Cold: a return runs at most once per function call, so its
+		// expressions cannot be a per-iteration allocation.
+	case *ast.ExprStmt:
+		w.expr(s.X, inLoop)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, inLoop)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, inLoop)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, inLoop)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, inLoop)
+		w.expr(s.Value, inLoop)
+	case *ast.IncDecStmt:
+		w.expr(s.X, inLoop)
+	case *ast.GoStmt:
+		w.expr(s.Call, inLoop)
+	case *ast.DeferStmt:
+		// A defer in a loop pushes one record per iteration; the
+		// closure argument check below reports the FuncLit if any.
+		w.expr(s.Call, inLoop)
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	default:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				w.expr(e, inLoop)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// expr walks one expression with the given in-loop state.
+func (w *hotAllocWalker) expr(e ast.Expr, inLoop bool) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		w.call(e, inLoop)
+	case *ast.FuncLit:
+		if inLoop {
+			w.pass.Reportf(e.Pos(), "closure allocated inside loop")
+		}
+		// The literal's body runs in its own execution context.
+		w.stmt(e.Body, false)
+	case *ast.BinaryExpr:
+		w.expr(e.X, inLoop)
+		w.expr(e.Y, inLoop)
+	case *ast.UnaryExpr:
+		w.expr(e.X, inLoop)
+	case *ast.ParenExpr:
+		w.expr(e.X, inLoop)
+	case *ast.StarExpr:
+		w.expr(e.X, inLoop)
+	case *ast.SelectorExpr:
+		w.expr(e.X, inLoop)
+	case *ast.IndexExpr:
+		w.expr(e.X, inLoop)
+		w.expr(e.Index, inLoop)
+	case *ast.IndexListExpr:
+		w.expr(e.X, inLoop)
+		for _, i := range e.Indices {
+			w.expr(i, inLoop)
+		}
+	case *ast.SliceExpr:
+		w.expr(e.X, inLoop)
+		w.expr(e.Low, inLoop)
+		w.expr(e.High, inLoop)
+		w.expr(e.Max, inLoop)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X, inLoop)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el, inLoop)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Key, inLoop)
+		w.expr(e.Value, inLoop)
+	}
+}
+
+// call checks one call expression, then walks its children.
+func (w *hotAllocWalker) call(call *ast.CallExpr, inLoop bool) {
+	info := w.pass.Pkg.Info
+	defer func() {
+		// Fun is walked for nested calls like f(x)(y); args below.
+		w.expr(call.Fun, inLoop)
+	}()
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "panic":
+				// Cold path: a panic terminates the call; its argument
+				// (typically fmt.Sprintf) is not a steady-state alloc.
+				return
+			case "make":
+				if inLoop {
+					w.pass.Reportf(call.Pos(), "make inside loop allocates every iteration; hoist or reuse scratch")
+				}
+			case "new":
+				if inLoop {
+					w.pass.Reportf(call.Pos(), "new inside loop allocates every iteration; hoist or reuse scratch")
+				}
+			case "append":
+				if inLoop {
+					w.pass.Reportf(call.Pos(), "append inside loop may grow and reallocate; presize the buffer or reuse scratch")
+				}
+			}
+			for _, a := range call.Args {
+				w.expr(a, inLoop)
+			}
+			return
+		}
+	}
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if inLoop {
+			to := tv.Type
+			from := info.Types[call.Args[0]].Type
+			switch {
+			case isString(to) && isByteSlice(from):
+				w.pass.Reportf(call.Pos(), "[]byte->string conversion inside loop copies; keep the byte slice")
+			case isByteSlice(to) && isString(from):
+				w.pass.Reportf(call.Pos(), "string->[]byte conversion inside loop copies; keep the byte slice")
+			case types.IsInterface(to) && from != nil && !types.IsInterface(from) && !isPointerLike(from):
+				w.pass.Reportf(call.Pos(), "conversion to interface inside loop boxes the value (allocates)")
+			}
+		}
+		w.expr(call.Args[0], inLoop)
+		return
+	}
+
+	// Ordinary call: check interface boxing at the call boundary.
+	if inLoop {
+		if sig, ok := info.Types[call.Fun].Type.(*types.Signature); ok {
+			w.checkBoxing(call, sig)
+		}
+	}
+	for _, a := range call.Args {
+		w.expr(a, inLoop)
+	}
+}
+
+// checkBoxing reports arguments whose concrete non-pointer value is
+// passed where the callee takes an interface (fmt-style ...any is the
+// classic hot-loop offender: every argument is boxed).
+func (w *hotAllocWalker) checkBoxing(call *ast.CallExpr, sig *types.Signature) {
+	info := w.pass.Pkg.Info
+	params := sig.Params()
+	if params.Len() == 0 || call.Ellipsis.IsValid() {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			st, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				return
+			}
+			pt = st.Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		} else {
+			return
+		}
+		at := info.Types[arg].Type
+		if at == nil || !types.IsInterface(pt) || types.IsInterface(at) || isPointerLike(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		w.pass.Reportf(arg.Pos(), "argument boxed into interface parameter inside loop (allocates)")
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// isPointerLike reports types whose interface representation does not
+// allocate a separate box (the data word holds the pointer itself).
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}

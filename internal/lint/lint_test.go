@@ -1,0 +1,216 @@
+package lint_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"genasm/internal/lint"
+)
+
+// wantRe matches a `// want `regex“ expectation comment.
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// loadFixture loads testdata/src/<name> as a standalone package.
+func loadFixture(t *testing.T, loader *lint.Loader, name string) *lint.Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := loader.LoadDir(dir, name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+func newLoader(t *testing.T) *lint.Loader {
+	t.Helper()
+	loader, err := lint.NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader
+}
+
+// checkGolden runs analyzers over the fixture package and verifies the
+// diagnostics against the fixture's `// want` comments: every finding
+// must be expected on its line, and every expectation must be matched.
+func checkGolden(t *testing.T, pkg *lint.Package, analyzers []*lint.Analyzer) {
+	t.Helper()
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	key := func(file string, line int) string {
+		return fmt.Sprintf("%s:%d", filepath.Base(file), line)
+	}
+	for _, f := range pkg.Files {
+		fileName := pkg.Fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					k := key(fileName, pkg.Fset.Position(c.Pos()).Line)
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+
+	diags := lint.Run([]*lint.Package{pkg}, analyzers)
+	for _, d := range diags {
+		text := d.Analyzer + ": " + d.Message
+		matched := false
+		for _, w := range wants[key(d.Pos.Filename, d.Pos.Line)] {
+			if w.re.MatchString(text) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected finding matching %q was not reported", k, w.re)
+			}
+		}
+	}
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	loader := newLoader(t)
+	pkg := loadFixture(t, loader, "hotalloc")
+	checkGolden(t, pkg, []*lint.Analyzer{lint.HotAlloc([]string{"hotalloc"})})
+}
+
+// TestHotAllocScope: a package outside the hot list produces nothing,
+// no matter how allocation-happy its loops are.
+func TestHotAllocScope(t *testing.T) {
+	loader := newLoader(t)
+	pkg := loadFixture(t, loader, "hotalloc")
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.HotAlloc([]string{"genasm/internal/core"})})
+	if len(diags) != 0 {
+		t.Fatalf("hotalloc ran outside its designated packages: %v", diags)
+	}
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	loader := newLoader(t)
+	pkg := loadFixture(t, loader, "ctxflow")
+	checkGolden(t, pkg, []*lint.Analyzer{lint.CtxFlow()})
+}
+
+// TestCtxFlowMainExempt: package main owns its root context.
+func TestCtxFlowMainExempt(t *testing.T) {
+	loader := newLoader(t)
+	pkg := loadFixture(t, loader, "ctxflow_main")
+	if diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.CtxFlow()}); len(diags) != 0 {
+		t.Fatalf("ctxflow flagged package main: %v", diags)
+	}
+}
+
+func TestErrCmpGolden(t *testing.T) {
+	loader := newLoader(t)
+	pkg := loadFixture(t, loader, "errcmp")
+	checkGolden(t, pkg, []*lint.Analyzer{lint.ErrCmp()})
+}
+
+func TestLockSafeGolden(t *testing.T) {
+	loader := newLoader(t)
+	pkg := loadFixture(t, loader, "locksafe")
+	checkGolden(t, pkg, []*lint.Analyzer{lint.LockSafe()})
+}
+
+// TestDirectiveHygiene: a suppression without a reason, or naming an
+// unknown analyzer, is itself a finding and suppresses nothing — so
+// directives cannot rot. Only the well-formed reasoned directive in the
+// fixture silences its finding.
+func TestDirectiveHygiene(t *testing.T) {
+	loader := newLoader(t)
+	pkg := loadFixture(t, loader, "directives")
+	diags := lint.Run([]*lint.Package{pkg}, lint.Default(nil))
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	wants := []string{
+		"lint: .*must state a reason",
+		"lint: .*unknown analyzer \"ctxfloww\"",
+		"ctxflow: context.Background",
+		"ctxflow: context.Background",
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(diags), len(wants), strings.Join(got, "\n"))
+	}
+	for _, w := range wants {
+		re := regexp.MustCompile(w)
+		found := false
+		for _, g := range got {
+			if re.MatchString(g) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding matched %q in:\n%s", w, strings.Join(got, "\n"))
+		}
+	}
+	for _, d := range diags {
+		if pos := d.Pos; pos.Line >= 21 { // wellFormed starts after line 21
+			t.Errorf("reasoned directive failed to suppress: %s", d)
+		}
+	}
+}
+
+// TestRepoClean is the acceptance gate in test form: the full analyzer
+// suite over the whole module must report nothing — every pre-existing
+// finding is fixed or carries a reasoned //lint:allow.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module (and the stdlib closure) from source")
+	}
+	loader := newLoader(t)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("LoadAll found only %d packages; module walk is broken", len(pkgs))
+	}
+	var b strings.Builder
+	diags := lint.Run(pkgs, lint.Default(nil))
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("repository has %d unsuppressed findings:\n%s", len(diags), b.String())
+	}
+}
+
+// TestLoaderSkipsTestFiles: _test.go files are exempt from every
+// invariant, so the loader must never parse them.
+func TestLoaderSkipsTestFiles(t *testing.T) {
+	loader := newLoader(t)
+	pkg, err := loader.Load("genasm/internal/lint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatal("loader returned no files for internal/lint")
+	}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Errorf("loader parsed test file %s", name)
+		}
+	}
+}

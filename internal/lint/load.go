@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the unit an Analyzer
+// inspects. Files holds only non-test files — test files are exempt
+// from every genasm invariant, so they are never parsed.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader loads and type-checks the packages of one module without any
+// dependency beyond the standard library. Module-internal imports are
+// resolved by directory layout under the module root; standard-library
+// imports are type-checked from $GOROOT/src via go/importer's source
+// mode. Loaded packages are memoized, so a Loader is cheap to reuse
+// across LoadAll/Load/LoadDir calls (it is not safe for concurrent use).
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+	Fset       *token.FileSet
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a Loader for the module rooted at dir (the
+// directory containing go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		Fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Import implements types.Importer, resolving module-internal paths
+// from the module tree and everything else from the standard library.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps a module-internal import path to its directory.
+func (l *Loader) dirFor(importPath string) string {
+	rel := strings.TrimPrefix(importPath, l.ModulePath)
+	rel = strings.TrimPrefix(rel, "/")
+	return filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+}
+
+// Load loads the module-internal package with the given import path.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	return l.LoadDir(l.dirFor(importPath), importPath)
+}
+
+// LoadDir parses and type-checks the package in dir under the given
+// import path. dir need not live inside the module tree (the golden
+// fixtures under testdata/ load this way).
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %q", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	names, err := goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// LoadAll loads every package under the module root (skipping testdata,
+// vendor and hidden directories), sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	return l.LoadTree(l.ModuleRoot)
+}
+
+// LoadTree loads every package under dir, which must be inside the
+// module tree.
+func (l *Loader) LoadTree(dir string) ([]*Package, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		names, err := goFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(names) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.ModuleRoot, path)
+		if err != nil {
+			return err
+		}
+		ip := l.ModulePath
+		if rel != "." {
+			ip = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		paths = append(paths, ip)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, ip := range paths {
+		pkg, err := l.Load(ip)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// goFiles lists the non-test .go files of dir, sorted.
+func goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

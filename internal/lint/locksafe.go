@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockSafe returns the locksafe analyzer. Two rules:
+//
+//  1. No by-value copies of a struct that contains a sync.Mutex or
+//     sync.RWMutex (directly, embedded, or in an array field): value
+//     receivers and parameters, plain-variable assignments, range
+//     variables, and call arguments are checked. A copied lock guards
+//     nothing.
+//  2. No channel send while a mutex is held: a send can block
+//     indefinitely, turning a critical section into a deadlock. The
+//     check is a per-function linear scan (branches analyzed
+//     independently), so it is an approximation — suppress with
+//     //lint:allow locksafe <reason> where a send under lock is provably
+//     non-blocking (e.g. a buffered single-owner channel).
+func LockSafe() *Analyzer {
+	return &Analyzer{
+		Name: "locksafe",
+		Doc:  "flags by-value lock copies and channel sends under a held mutex",
+		Run: func(pass *Pass) {
+			ls := &lockSafeWalker{pass: pass, seen: make(map[types.Type]bool)}
+			for _, f := range pass.Pkg.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok {
+						continue
+					}
+					ls.checkSignature(fd)
+					if fd.Body != nil {
+						ls.checkCopies(fd.Body)
+						ls.scanHeld(fd.Body.List, map[string]bool{})
+					}
+				}
+			}
+		},
+	}
+}
+
+type lockSafeWalker struct {
+	pass *Pass
+	seen map[types.Type]bool
+}
+
+// containsLock reports whether a value of type t embeds a sync lock.
+func (w *lockSafeWalker) containsLock(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if w.seen[t] {
+		return false // cycle (or cached negative mid-recursion)
+	}
+	w.seen[t] = true
+	defer delete(w.seen, t)
+
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex" || obj.Name() == "WaitGroup" || obj.Name() == "Once" || obj.Name() == "Cond" || obj.Name() == "Pool") {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if w.containsLock(u.Field(i).Type()) {
+				return true
+			}
+		}
+	case *types.Array:
+		return w.containsLock(u.Elem())
+	}
+	return false
+}
+
+// checkSignature flags by-value receivers and parameters of
+// lock-containing struct types.
+func (w *lockSafeWalker) checkSignature(fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := w.pass.Pkg.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if w.containsLock(tv.Type) {
+				w.pass.Reportf(field.Pos(), "%s passes %s by value, copying its lock; use a pointer", kind, tv.Type)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+}
+
+// checkCopies flags statements that copy a lock-containing value out of
+// an existing variable: assignments, range clauses, and call arguments.
+// Composite literals and calls on the RHS are fresh values, not copies.
+func (w *lockSafeWalker) checkCopies(body *ast.BlockStmt) {
+	info := w.pass.Pkg.Info
+	readsExisting := func(e ast.Expr) bool {
+		switch ast.Unparen(e).(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			return true
+		}
+		return false
+	}
+	isBlank := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !readsExisting(rhs) {
+					continue
+				}
+				// `_ = x` materializes no copy.
+				if len(n.Lhs) == len(n.Rhs) && isBlank(n.Lhs[i]) {
+					continue
+				}
+				t := info.TypeOf(rhs)
+				if t != nil && w.containsLock(t) {
+					w.pass.Reportf(rhs.Pos(), "assignment copies %s, which contains a lock; use a pointer", t)
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil && !isBlank(n.Value) {
+				t := info.TypeOf(n.Value)
+				if t != nil && w.containsLock(t) {
+					w.pass.Reportf(n.Value.Pos(), "range value copies %s, which contains a lock; range over indices or pointers", t)
+				}
+			}
+		case *ast.CallExpr:
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			for _, arg := range n.Args {
+				if !readsExisting(arg) {
+					continue
+				}
+				t := info.TypeOf(arg)
+				if t != nil && w.containsLock(t) {
+					w.pass.Reportf(arg.Pos(), "call passes %s by value, copying its lock; pass a pointer", t)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockMethod classifies a call as Lock/RLock (+1), Unlock/RUnlock (-1)
+// on a sync.Mutex/RWMutex, returning the receiver expression text.
+func (w *lockSafeWalker) lockMethod(call *ast.CallExpr) (recv string, delta int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	fn, ok := w.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", 0
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.Mutex).TryLock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).TryLock",
+		"(*sync.RWMutex).RLock", "(*sync.RWMutex).TryRLock":
+		return types.ExprString(sel.X), +1
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		return types.ExprString(sel.X), -1
+	}
+	return "", 0
+}
+
+// scanHeld walks a statement list tracking which mutexes are held, and
+// flags channel sends while any lock is live. Nested blocks inherit a
+// copy of the state; a deferred Unlock does not release for the purpose
+// of this scan (the send still happens inside the critical section).
+func (w *lockSafeWalker) scanHeld(stmts []ast.Stmt, held map[string]bool) {
+	anyHeld := func() string {
+		for k := range held {
+			return k
+		}
+		return ""
+	}
+	copyHeld := func() map[string]bool {
+		c := make(map[string]bool, len(held))
+		for k, v := range held {
+			c[k] = v
+		}
+		return c
+	}
+	reportSends := func(n ast.Node) {
+		if len(held) == 0 || n == nil {
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false // separate execution context
+			case *ast.SendStmt:
+				w.pass.Reportf(m.Arrow, "channel send while holding %s; a blocked receiver deadlocks the critical section", anyHeld())
+			}
+			return true
+		})
+	}
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if recv, delta := w.lockMethod(call); recv != "" {
+					if delta > 0 {
+						held[recv] = true
+					} else {
+						delete(held, recv)
+					}
+					continue
+				}
+			}
+			reportSends(s)
+		case *ast.SendStmt:
+			if lk := anyHeld(); lk != "" {
+				w.pass.Reportf(s.Arrow, "channel send while holding %s; a blocked receiver deadlocks the critical section", lk)
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held for the rest of the
+			// function: do not clear, and do not scan the deferred call.
+		case *ast.BlockStmt:
+			w.scanHeld(s.List, copyHeld())
+		case *ast.IfStmt:
+			reportSends(s.Init)
+			reportSends(s.Cond)
+			w.scanHeld(s.Body.List, copyHeld())
+			if s.Else != nil {
+				w.scanHeld([]ast.Stmt{s.Else}, copyHeld())
+			}
+		case *ast.ForStmt:
+			w.scanHeld(s.Body.List, copyHeld())
+		case *ast.RangeStmt:
+			w.scanHeld(s.Body.List, copyHeld())
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			var body *ast.BlockStmt
+			switch s := s.(type) {
+			case *ast.SwitchStmt:
+				body = s.Body
+			case *ast.TypeSwitchStmt:
+				body = s.Body
+			case *ast.SelectStmt:
+				body = s.Body
+			}
+			for _, cs := range body.List {
+				switch cs := cs.(type) {
+				case *ast.CaseClause:
+					w.scanHeld(cs.Body, copyHeld())
+				case *ast.CommClause:
+					if len(held) > 0 {
+						if send, ok := cs.Comm.(*ast.SendStmt); ok {
+							w.pass.Reportf(send.Arrow, "channel send while holding %s; a blocked receiver deadlocks the critical section", anyHeld())
+						}
+					}
+					w.scanHeld(cs.Body, copyHeld())
+				}
+			}
+		default:
+			reportSends(s)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package ctxflow is the golden fixture for the ctxflow analyzer.
+package ctxflow
+
+import "context"
+
+func mint() {
+	ctx := context.Background() // want `context.Background\(\) in library code`
+	_ = ctx
+	_ = context.TODO() // want `context.TODO\(\) in library code`
+}
+
+// holder already has a ctx: minting a root context severs the chain and
+// gets the sharper threading diagnostic.
+func holder(ctx context.Context) error {
+	return work(context.Background()) // want `thread the function's "ctx" parameter`
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// threaded passes its ctx along: no finding.
+func threaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+// derived contexts are fine too.
+func derived(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(sub)
+}
+
+func allowed() {
+	//lint:allow ctxflow detached lifetime is owned by the manager, cancellation flows through Close
+	_ = context.Background()
+}

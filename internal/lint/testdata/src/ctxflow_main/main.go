@@ -1,0 +1,11 @@
+// Package main is the ctxflow counter-fixture: binaries own their root
+// context, so context.Background() is legal here and nothing is flagged.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	_ = context.TODO()
+}

@@ -1,0 +1,23 @@
+// Package directives is the fixture for //lint:allow hygiene: a
+// suppression must carry a reason and name a real analyzer, or it is
+// itself a finding and suppresses nothing. Expectations are asserted
+// programmatically in TestDirectiveHygiene (the hygiene findings land
+// on the directive lines, where a want comment cannot sit).
+package directives
+
+import "context"
+
+func missingReason() {
+	//lint:allow ctxflow
+	_ = context.Background()
+}
+
+func unknownAnalyzer() {
+	//lint:allow ctxfloww typo in the analyzer name
+	_ = context.Background()
+}
+
+func wellFormed() {
+	//lint:allow ctxflow fixture proves a reasoned directive suppresses
+	_ = context.Background()
+}

@@ -1,0 +1,59 @@
+// Package errcmp is the golden fixture for the errcmp analyzer.
+package errcmp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrLocal = errors.New("errcmp: local sentinel")
+
+func compare(err error) bool {
+	if err == io.EOF { // want `sentinel error compared with ==`
+		return true
+	}
+	if err != ErrLocal { // want `sentinel error compared with !=`
+		return false
+	}
+	return err == nil // nil comparison stays legal
+}
+
+func reversed(err error) bool {
+	return io.EOF == err // want `sentinel error compared with ==`
+}
+
+func switches(err error) int {
+	switch err {
+	case io.EOF: // want `switch on error compares sentinel io.EOF by identity`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+func properly(err error) bool {
+	return errors.Is(err, io.EOF) // no finding
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("loading index: %v", err) // want `use %w`
+}
+
+func wrapString(err error) error {
+	return fmt.Errorf("loading %s: %s", "name", err) // want `use %w`
+}
+
+func wrapOK(name string, err error) error {
+	return fmt.Errorf("loading %s: %w", name, err) // no finding: %w wraps
+}
+
+func starWidth(err error) error {
+	return fmt.Errorf("pad %*d: %w", 4, 7, err) // no finding: * consumes an arg
+}
+
+func allowedCompare(err error) bool {
+	//lint:allow errcmp identity check against an unwrapped sentinel is the documented contract here
+	return err == io.EOF
+}

@@ -1,0 +1,70 @@
+// Package hotalloc is the golden fixture for the hotalloc analyzer.
+// Each `// want` comment pins one expected diagnostic on its line.
+package hotalloc
+
+import "fmt"
+
+func loops(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 8) // want `make inside loop`
+		out = append(out, i)   // want `append inside loop`
+		s := string(buf[:2])   // want `\[\]byte->string conversion inside loop`
+		b := []byte(s)         // want `string->\[\]byte conversion inside loop`
+		fmt.Println(i)         // want `boxed into interface parameter inside loop`
+		f := func() { _ = b }  // want `closure allocated inside loop`
+		f()
+	}
+	return out
+}
+
+func rangeLoop(src []byte) int {
+	n := 0
+	for _, b := range src {
+		p := new(int) // want `new inside loop`
+		*p = int(b)
+		n += *p
+	}
+	return n
+}
+
+// coldPaths: return and panic run at most once per call, so their
+// allocations are not steady-state and must not be flagged.
+func coldPaths(n int) ([]byte, error) {
+	for i := 0; i < n; i++ {
+		if i < -1 {
+			return nil, fmt.Errorf("bad index %d", i)
+		}
+		if i > n {
+			panic(fmt.Sprintf("impossible index %d", i))
+		}
+	}
+	return make([]byte, n), nil
+}
+
+// hoisted allocations outside loops are fine.
+func hoisted(n int) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	return buf
+}
+
+// pointerArgs: passing a pointer through an interface does not box.
+func pointerArgs(ps []*int) {
+	for _, p := range ps {
+		sink(p)
+	}
+}
+
+func sink(v any) { _ = v }
+
+func suppressedGrowth(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		//lint:allow hotalloc amortized growth into a caller-owned buffer, measured zero in steady state
+		out = append(out, i)
+	}
+	return out
+}

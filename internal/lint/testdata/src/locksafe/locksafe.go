@@ -1,0 +1,97 @@
+// Package locksafe is the golden fixture for the locksafe analyzer.
+package locksafe
+
+import "sync"
+
+// Guarded contains a lock, so values of it must never be copied.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Wrapper embeds a lock-containing struct: still no copies.
+type Wrapper struct {
+	g Guarded
+}
+
+func byValueParam(g Guarded) int { // want `parameter passes .* by value`
+	return g.n
+}
+
+func (g Guarded) valueReceiver() int { // want `receiver passes .* by value`
+	return g.n
+}
+
+func assignCopy(g *Guarded) {
+	cp := *g // want `assignment copies`
+	_ = cp
+}
+
+func wrapperCopy(w *Wrapper) {
+	cp := *w // want `assignment copies`
+	_ = cp
+}
+
+func rangeCopy(gs []Guarded) int {
+	n := 0
+	for _, g := range gs { // want `range value copies`
+		n += g.n
+	}
+	return n
+}
+
+func callCopy(g *Guarded) int {
+	return byValueParam(*g) // want `call passes .* by value`
+}
+
+// Pointers are always fine.
+func pointerParam(g *Guarded) int { return g.n }
+
+func pointerRange(gs []*Guarded) int {
+	n := 0
+	for _, g := range gs {
+		n += g.n
+	}
+	return n
+}
+
+// Q guards a channel with a mutex: sends while holding it can deadlock.
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (q *Q) sendUnderLock(v int) {
+	q.mu.Lock()
+	q.ch <- v // want `channel send while holding q.mu`
+	q.mu.Unlock()
+}
+
+func (q *Q) sendUnderDeferredUnlock(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v // want `channel send while holding q.mu`
+}
+
+func (q *Q) sendAfterUnlock(v int) {
+	q.mu.Lock()
+	q.ch = make(chan int, 1)
+	q.mu.Unlock()
+	q.ch <- v // no finding: lock released first
+}
+
+func (q *Q) sendInSelect(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v: // want `channel send while holding q.mu`
+	default:
+	}
+}
+
+func (q *Q) allowedSend(v int) {
+	q.mu.Lock()
+	//lint:allow locksafe buffered single-owner channel, send can never block
+	q.ch <- v
+	q.mu.Unlock()
+}

@@ -392,6 +392,7 @@ func (m *Manager) worker() {
 		}
 		j := m.pending[0]
 		m.pending = m.pending[1:]
+		//lint:allow ctxflow a job outlives the HTTP request that submitted it; cancellation flows through job.cancel (DELETE /jobs/{id}) and Close's drain instead
 		ctx, cancel := context.WithCancel(context.Background())
 		j.cancel = cancel
 		j.state = Running

@@ -231,6 +231,7 @@ func (s *Scheduler) runBatch(batch []*schedJob) {
 	// The batch serves many requests, so it runs under the scheduler's
 	// lifetime, not any single caller's context: one impatient client
 	// must not cancel its co-batched neighbours.
+	//lint:allow ctxflow a coalesced batch must outlive every submitter's ctx; Close drains via wg, not cancellation
 	results, err := s.eng.AlignBatch(context.Background(), all)
 	s.m.observeBatch(n)
 	if err != nil {
