@@ -25,8 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,6 +37,7 @@ import (
 
 	"genasm"
 	"genasm/internal/genome"
+	"genasm/internal/obs"
 	"genasm/server"
 	"genasm/server/jobs"
 )
@@ -54,20 +57,31 @@ type options struct {
 	jobsDir     string    // empty = bulk job lane disabled
 	jobsWorkers int
 	jobsTTL     time.Duration
+	logFormat   string
+	logLevel    string
+	slowRequest time.Duration
+	traceBuffer int
+	debugAddr   string // empty = no debug/pprof listener
+
+	log        *slog.Logger      // built by run from logFormat/logLevel
+	debugReady func(addr string) // test hook: reports the bound debug addr
 }
 
 type refSpec struct{ name, path string }
 
 func defaultOptions() options {
 	return options{
-		addr:       ":8080",
-		backend:    "cpu",
-		algo:       "genasm",
-		batch:      0, // 0 = the backend's preferred batch size
-		batchDelay: 2 * time.Millisecond,
-		queue:      4096,
-		cacheSize:  4096,
-		jobsTTL:    time.Hour,
+		addr:        ":8080",
+		backend:     "cpu",
+		algo:        "genasm",
+		batch:       0, // 0 = the backend's preferred batch size
+		batchDelay:  2 * time.Millisecond,
+		queue:       4096,
+		cacheSize:   4096,
+		jobsTTL:     time.Hour,
+		logFormat:   "text",
+		logLevel:    "info",
+		slowRequest: time.Second,
 	}
 }
 
@@ -106,7 +120,10 @@ func buildServer(o options) (*server.Server, error) {
 			MaxDelay: o.batchDelay,
 			MaxQueue: o.queue,
 		},
-		CacheSize: o.cacheSize,
+		CacheSize:   o.cacheSize,
+		Logger:      o.log, // nil = quiet (server substitutes a no-op logger)
+		SlowRequest: o.slowRequest,
+		TraceBuffer: o.traceBuffer,
 		Jobs: jobs.Config{
 			Dir:     o.jobsDir,
 			Workers: o.jobsWorkers,
@@ -136,11 +153,34 @@ func buildServer(o options) (*server.Server, error) {
 	return srv, nil
 }
 
+// debugHandler builds the opt-in -debug-addr mux: the full net/http/pprof
+// suite plus the server's own introspection endpoints (/debug/traces,
+// /metrics, /healthz), so profiling and scraping can live on a private
+// port while o.addr stays workload-only.
+func debugHandler(srv *server.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	app := srv.Handler()
+	mux.Handle("/debug/traces", app)
+	mux.Handle("/metrics", app)
+	mux.Handle("/healthz", app)
+	return mux
+}
+
 // run serves until ctx is cancelled, then shuts down gracefully: the
 // listener closes, in-flight requests get shutdownGrace to finish, and
 // the scheduler drains. ready (optional) receives the bound address once
 // the listener is up — tests use it to learn the :0 port.
 func run(ctx context.Context, o options, logw io.Writer, ready func(addr string)) error {
+	log, err := obs.NewLogger(logw, o.logFormat, o.logLevel)
+	if err != nil {
+		return err
+	}
+	o.log = log
 	srv, err := buildServer(o)
 	if err != nil {
 		return err
@@ -153,26 +193,63 @@ func run(ctx context.Context, o options, logw io.Writer, ready func(addr string)
 	if srv.Jobs() != nil {
 		jobsLane = o.jobsDir
 	}
-	fmt.Fprintf(logw, "genasm-serve: listening on %s (backend=%s, refs=%d, jobs=%s)\n",
-		ln.Addr(), srv.Engine().BackendName(), srv.Registry().Len(), jobsLane)
-	if ready != nil {
-		ready(ln.Addr().String())
-	}
+	build := obs.ReadBuildInfo()
+	log.Info("listening",
+		"addr", ln.Addr().String(),
+		"backend", srv.Engine().BackendName(),
+		"refs", srv.Registry().Len(),
+		"jobs", jobsLane,
+		"version", build.Version(),
+		"go", build.GoVersion)
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
+
+	var dhs *http.Server
+	if o.debugAddr != "" {
+		dln, derr := net.Listen("tcp", o.debugAddr)
+		if derr != nil {
+			ln.Close()
+			srv.Close()
+			return derr
+		}
+		log.Info("debug listening", "addr", dln.Addr().String())
+		if o.debugReady != nil {
+			o.debugReady(dln.Addr().String())
+		}
+		dhs = &http.Server{Handler: debugHandler(srv)}
+		go func() {
+			if err := dhs.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errc <- err
+			}
+		}()
+	}
+
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
 	go func() { errc <- hs.Serve(ln) }()
 
 	const shutdownGrace = 10 * time.Second
+	shutdownDebug := func(sctx context.Context) {
+		if dhs != nil {
+			dhs.Shutdown(sctx)
+		}
+	}
 	select {
 	case <-ctx.Done():
 		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 		defer cancel()
 		err = hs.Shutdown(sctx)
+		shutdownDebug(sctx)
 		srv.Close() // drain the batch scheduler after the listener stops
-		fmt.Fprintln(logw, "genasm-serve: shut down")
+		log.Info("shut down")
 		return err
 	case err := <-errc:
+		sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		hs.Shutdown(sctx)
+		shutdownDebug(sctx)
 		srv.Close()
 		if errors.Is(err, http.ErrServerClosed) {
 			return nil
@@ -195,6 +272,11 @@ func main() {
 	flag.StringVar(&o.jobsDir, "jobs-dir", "", "enable the async bulk job lane (POST /jobs), spooling inputs/results under this directory; must be empty or absent at startup (empty string = lane disabled)")
 	flag.IntVar(&o.jobsWorkers, "jobs-workers", 0, "concurrent bulk jobs (0 = backend parallelism/4, min 1)")
 	flag.DurationVar(&o.jobsTTL, "jobs-ttl", o.jobsTTL, "how long finished jobs and their spool files are retained before garbage collection")
+	flag.StringVar(&o.logFormat, "log-format", o.logFormat, "log output format: text | json")
+	flag.StringVar(&o.logLevel, "log-level", o.logLevel, "minimum log level: debug | info | warn | error")
+	flag.DurationVar(&o.slowRequest, "slow-request", o.slowRequest, "log a warning with the full span tree for requests slower than this (0 disables)")
+	flag.IntVar(&o.traceBuffer, "trace-buffer", 0, "recent request traces retained for GET /debug/traces (0 = default 128)")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "optional second listener exposing net/http/pprof, /debug/traces, /metrics and /healthz (empty = disabled)")
 	flag.Func("ref", "preload a reference: name=path.fa (repeatable)", func(v string) error {
 		rs, err := parseRefFlag(v)
 		if err != nil {

@@ -15,6 +15,7 @@ import (
 
 	"genasm"
 	"genasm/internal/genome"
+	"genasm/internal/obs"
 )
 
 func TestParseRefFlag(t *testing.T) {
@@ -198,6 +199,188 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	}
 	if !strings.Contains(logs.String(), "shut down") {
 		t.Fatalf("log %q lacks shutdown line", logs.String())
+	}
+}
+
+// TestRunObservabilitySmoke is the observability smoke test: boot the
+// binary with JSON logs and a debug listener, drive one /align request,
+// then verify (a) /metrics serves both formats and the Prometheus
+// payload passes the strict exposition checker, (b) the debug port
+// serves pprof, /debug/traces and /metrics, (c) request logs are valid
+// JSON lines carrying a trace_id, and (d) /healthz reports the build
+// version.
+func TestRunObservabilitySmoke(t *testing.T) {
+	dir := t.TempDir()
+	refPath := writeRefFASTA(t, dir, 35)
+	o := defaultOptions()
+	o.addr = "127.0.0.1:0"
+	o.debugAddr = "127.0.0.1:0"
+	o.batchDelay = time.Millisecond
+	o.logFormat = "json"
+	o.logLevel = "debug"
+	o.refs = []refSpec{{name: "chr1", path: refPath}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	dbgc := make(chan string, 1)
+	done := make(chan error, 1)
+	var logs bytes.Buffer
+	o.debugReady = func(addr string) { dbgc <- addr }
+	go func() {
+		done <- run(ctx, o, &logs, func(addr string) { addrc <- addr })
+	}()
+	var addr, dbg string
+	select {
+	case addr = <-addrc:
+		dbg = <-dbgc
+	case err := <-done:
+		t.Fatalf("run exited early: %v (log %s)", err, logs.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	get := func(url string) (int, http.Header, []byte) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header, data
+	}
+
+	g := genasm.GenerateGenome(5_000, 36)
+	body := fmt.Sprintf(`{"pairs":[{"query":%q,"ref":%q}]}`, g[200:400], g[200:440])
+	resp, err := http.Post(base+"/align", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("align: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatal("align response lacks X-Request-Id")
+	}
+
+	// JSON metrics (the default format) still decode and include the
+	// histogram-derived percentile keys.
+	code, _, data := get(base + "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics json: %d %s", code, data)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics json: %v in %s", err, data)
+	}
+	for _, key := range []string{"requests_total", "latency_ms_p99", "queue_wait_ms_p99", "backend_exec_ms_p99"} {
+		if _, ok := snap[key]; !ok {
+			t.Fatalf("metrics json lacks %q: %s", key, data)
+		}
+	}
+
+	// Prometheus exposition — via query param and via Accept header, on
+	// both the main and the debug listener — must pass the strict checker.
+	for _, tc := range []struct{ url, accept string }{
+		{base + "/metrics?format=prometheus", ""},
+		{base + "/metrics", "text/plain"},
+		{"http://" + dbg + "/metrics?format=prometheus", ""},
+	} {
+		req, err := http.NewRequest(http.MethodGet, tc.url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.accept != "" {
+			req.Header.Set("Accept", tc.accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d %s", tc.url, resp.StatusCode, data)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != obs.ExpositionContentType {
+			t.Fatalf("%s: content type %q", tc.url, ct)
+		}
+		if errs := obs.CheckExposition(data); len(errs) != 0 {
+			t.Fatalf("%s: exposition violations: %v", tc.url, errs)
+		}
+		if !strings.Contains(string(data), `genasm_requests_total{backend="cpu"}`) {
+			t.Fatalf("%s: missing labeled counter in %s", tc.url, data)
+		}
+	}
+
+	// The debug listener serves pprof and the trace ring.
+	if code, _, data := get("http://" + dbg + "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof cmdline: %d %s", code, data)
+	}
+	code, _, data = get("http://" + dbg + "/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("debug traces: %d %s", code, data)
+	}
+	var ring struct {
+		Total  int `json:"total"`
+		Traces []struct {
+			Name string `json:"name"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(data, &ring); err != nil {
+		t.Fatalf("debug traces: %v in %s", err, data)
+	}
+	if ring.Total < 1 || len(ring.Traces) < 1 {
+		t.Fatalf("debug traces empty after /align: %s", data)
+	}
+
+	// /healthz reports the build version string.
+	code, _, data = get(base + "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d %s", code, data)
+	}
+	var health struct {
+		Version string `json:"version"`
+		Backend string `json:"backend"`
+	}
+	if err := json.Unmarshal(data, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Version == "" || health.Backend != "cpu" {
+		t.Fatalf("healthz %+v", health)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+
+	// Every log line is valid JSON; the /align request line carries a
+	// trace_id matching the obs ID shape.
+	sawAlign := false
+	for _, line := range strings.Split(strings.TrimSpace(logs.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if rec["path"] == "/align" {
+			sawAlign = true
+			id, _ := rec["trace_id"].(string)
+			if len(id) != 16 {
+				t.Fatalf("align log line trace_id %q, want 16 hex chars: %s", id, line)
+			}
+		}
+	}
+	if !sawAlign {
+		t.Fatalf("no /align request log line in %s", logs.String())
 	}
 }
 

@@ -1,6 +1,6 @@
 // Package lint is genasm's project-specific static-analysis framework:
 // a small, stdlib-only analyzer harness (go/parser + go/ast + go/types,
-// stdlib type information via the source importer) plus the four
+// stdlib type information via the source importer) plus the five
 // analyzers that machine-check the invariants this repository's
 // correctness and performance work depends on:
 //
@@ -12,6 +12,8 @@
 //     fmt.Errorf wraps causes with %w.
 //   - locksafe: no by-value copies of lock-containing structs, and no
 //     channel sends while a sync.Mutex/RWMutex is held.
+//   - metricname: metric names registered through internal/obs follow
+//     the exposition conventions (snake_case, counters end in _total).
 //
 // Findings carry file:line positions. A finding that is intentional is
 // suppressed in place with a written justification:
@@ -207,5 +209,6 @@ func Default(hotPkgs []string) []*Analyzer {
 		CtxFlow(),
 		ErrCmp(),
 		LockSafe(),
+		MetricName(),
 	}
 }

@@ -129,6 +129,12 @@ func TestLockSafeGolden(t *testing.T) {
 	checkGolden(t, pkg, []*lint.Analyzer{lint.LockSafe()})
 }
 
+func TestMetricNameGolden(t *testing.T) {
+	loader := newLoader(t)
+	pkg := loadFixture(t, loader, "metricname")
+	checkGolden(t, pkg, []*lint.Analyzer{lint.MetricName()})
+}
+
 // TestDirectiveHygiene: a suppression without a reason, or naming an
 // unknown analyzer, is itself a finding and suppresses nothing — so
 // directives cannot rot. Only the well-formed reasoned directive in the

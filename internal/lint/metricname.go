@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"genasm/internal/obs"
+)
+
+// metricRegistrars maps the obs.Registry registration methods to the
+// metric kind they create. Only names passed as compile-time string
+// constants are checked — a computed name is validated at runtime by the
+// registry itself (which panics on violation).
+var metricRegistrars = map[string]obs.Kind{
+	"Counter":     obs.KindCounter,
+	"CounterFunc": obs.KindCounter,
+	"Gauge":       obs.KindGauge,
+	"GaugeFunc":   obs.KindGauge,
+	"Histogram":   obs.KindHistogram,
+}
+
+// MetricName returns the metricname analyzer: every metric name
+// registered through genasm/internal/obs must satisfy the exposition
+// naming rules (obs.CheckMetricName) — snake_case, counters end in
+// _total, non-counters must not. The registry enforces the same rules
+// with a runtime panic; this analyzer moves the failure to lint time,
+// before a bad name ever reaches a running server.
+func MetricName() *Analyzer {
+	return &Analyzer{
+		Name: "metricname",
+		Doc:  "enforces snake_case and the _total counter convention on obs metric names",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if ok {
+						checkMetricRegistration(pass, call)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// checkMetricRegistration flags registry.Counter("bad name", ...) and
+// friends when the constant name violates the naming rules.
+func checkMetricRegistration(pass *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	kind, ok := metricRegistrars[fn.Name()]
+	if !ok || !strings.Contains(fn.FullName(), "genasm/internal/obs.Registry).") {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if err := obs.CheckMetricName(name, kind); err != nil {
+		pass.Reportf(call.Args[0].Pos(), "%v", err)
+	}
+}

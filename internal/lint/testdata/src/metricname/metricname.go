@@ -1,0 +1,50 @@
+// Package metricname is the golden fixture for the metricname analyzer.
+package metricname
+
+import "genasm/internal/obs"
+
+func register(r *obs.Registry) {
+	// Well-formed names: nothing flagged.
+	r.Counter("genasm_requests_total", "requests")
+	r.CounterFunc("genasm_cache_hits_total", "hits", func() float64 { return 0 })
+	r.Gauge("genasm_queue_depth", "depth")
+	r.GaugeFunc("genasm_uptime_seconds", "uptime", func() float64 { return 0 })
+	r.Histogram("genasm_e2e_latency_seconds", "latency", []float64{1})
+
+	// Counters must end in _total.
+	r.Counter("genasm_requests", "requests")                          // want `metricname: .*counter "genasm_requests" must end in _total`
+	r.CounterFunc("genasm_hits", "hits", func() float64 { return 0 }) // want `metricname: .*counter "genasm_hits" must end in _total`
+
+	// Non-counters must not claim the _total suffix.
+	r.Gauge("genasm_depth_total", "depth")                            // want `metricname: .*gauge "genasm_depth_total" must not end in _total`
+	r.GaugeFunc("genasm_up_total", "up", func() float64 { return 0 }) // want `metricname: .*gauge "genasm_up_total" must not end in _total`
+	r.Histogram("genasm_lat_total", "latency", []float64{1})          // want `metricname: .*histogram "genasm_lat_total" must not end in _total`
+
+	// snake_case violations.
+	r.Gauge("genasmQueueDepth", "depth")            // want `metricname: .*not snake_case`
+	r.Counter("genasm__requests_total", "requests") // want `metricname: .*not snake_case`
+	r.Gauge("_genasm_depth", "depth")               // want `metricname: .*not snake_case`
+	r.Counter("genasm-requests_total", "requests")  // want `metricname: .*not snake_case`
+
+	// A constant expression is still checked; a computed name is not
+	// (the registry validates it at runtime).
+	const prefix = "genasm_"
+	r.Gauge(prefix+"depth_total", "depth") // want `metricname: .*must not end in _total`
+	r.Gauge(dynamicName(), "depth")
+
+	// A reasoned suppression silences the finding.
+	//lint:allow metricname fixture exercising the directive path
+	r.Counter("genasm_suppressed", "suppressed")
+}
+
+func dynamicName() string { return "genasm_dynamic_total" }
+
+// notTheRegistry has methods with registrar names but a different
+// receiver type: never flagged.
+type notTheRegistry struct{}
+
+func (notTheRegistry) Counter(name, help string) {}
+
+func decoy(n notTheRegistry) {
+	n.Counter("not a metric at all", "help")
+}

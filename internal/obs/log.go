@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime/debug"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger writing to w. Format is "text" or
+// "json"; level is "debug", "info", "warn" or "error". Unknown values
+// are an error so a typo'd flag fails startup instead of silently
+// logging at the wrong level.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", format)
+}
+
+// nopHandler discards every record. (slog.DiscardHandler exists only
+// from Go 1.24; CI builds with 1.22.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+// NopLogger returns a logger that discards everything — the default for
+// embedded servers (tests, benchmarks) that did not configure logging.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+// BuildInfo is the binary's identity as reported by the Go toolchain,
+// surfaced in /healthz, startup logs and trace dumps.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	Time      string `json:"build_time,omitempty"`
+	Modified  bool   `json:"dirty,omitempty"`
+}
+
+// ReadBuildInfo extracts version metadata from the running binary. The
+// VCS fields are empty when the binary was built outside a checkout
+// (e.g. go test binaries).
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.GoVersion = info.GoVersion
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.time":
+			bi.Time = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+}
+
+// Version renders the build info as a single human-readable token for
+// log lines: the short revision (with -dirty when modified), or the Go
+// version when no VCS stamp is present.
+func (b BuildInfo) Version() string {
+	if b.Revision == "" {
+		if b.GoVersion != "" {
+			return "devel (" + b.GoVersion + ")"
+		}
+		return "unknown"
+	}
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Modified {
+		rev += "-dirty"
+	}
+	return rev
+}

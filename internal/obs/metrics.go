@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric. The zero value is
+// usable; registered counters come from Registry.Counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter. Negative deltas are a programming error
+// but are not checked on the hot path.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an int64 metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Store sets the gauge.
+func (g *Gauge) Store(v int64) { g.v.Store(v) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram: observations land in
+// the first bucket whose upper bound is >= the value, with an implicit
+// +Inf bucket at the end. Unlike a sliding-window sample, bucket counts
+// only ever grow — two scrapes subtract cleanly, and histograms from
+// many processes merge by bucket-wise addition. All methods are safe for
+// concurrent use; Observe is wait-free (two atomic adds).
+type Histogram struct {
+	bounds []float64       // strictly increasing finite upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64   // math.Float64bits CAS-accumulated
+	count  atomic.Uint64
+}
+
+// newHistogram validates bounds (strictly increasing, finite, non-empty).
+func newHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("obs: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("obs: histogram bound %d is not finite", i)
+		}
+		if i > 0 && b <= bounds[i-1] {
+			return nil, fmt.Errorf("obs: histogram bounds not strictly increasing at %d", i)
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	return h, nil
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns how many values have been observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Mean returns the mean observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Bounds returns the finite bucket upper bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Cumulative returns the cumulative bucket counts: out[i] counts
+// observations <= bounds[i], and the final entry (the +Inf bucket)
+// equals Count(). Counts are loaded bucket by bucket, so a snapshot
+// taken under concurrent Observes is approximate but always
+// non-decreasing across buckets.
+func (h *Histogram) Cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// Quantile estimates the p-quantile (0 <= p <= 1) by locating the
+// target rank in the cumulative buckets and interpolating linearly
+// inside the bucket — the whole bucket's width is credited
+// proportionally, so there is no truncating index math to bias the
+// estimate downward (the defect the old sliding-window estimator had:
+// int(p*(n-1)) floors, systematically under-reporting upper quantiles).
+// Values in the +Inf bucket clamp to the largest finite bound.
+func (h *Histogram) Quantile(p float64) float64 {
+	cum := h.Cumulative()
+	n := cum[len(cum)-1]
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(n)
+	if rank < 1 {
+		rank = 1
+	}
+	for i, c := range cum {
+		if float64(c) < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			// +Inf bucket: the best available answer is the largest
+			// finite bound.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		var prev uint64
+		if i > 0 {
+			lower = h.bounds[i-1]
+			prev = cum[i-1]
+		}
+		upper := h.bounds[i]
+		inBucket := float64(c - prev)
+		if inBucket <= 0 {
+			return upper
+		}
+		return lower + (upper-lower)*(rank-float64(prev))/inBucket
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// DefaultLatencyBuckets are the second-denominated bounds the serving
+// layer uses for its stage latency histograms: half a millisecond up to
+// ten seconds, roughly geometric.
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Kind classifies a registered metric for exposition.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// metric is one registered entry.
+type metric struct {
+	name string
+	help string
+	kind Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // CounterFunc / GaugeFunc
+}
+
+// value returns the metric's current scalar (counter/gauge only).
+func (m *metric) value() float64 {
+	switch {
+	case m.fn != nil:
+		return m.fn()
+	case m.counter != nil:
+		return float64(m.counter.Load())
+	case m.gauge != nil:
+		return float64(m.gauge.Load())
+	}
+	return 0
+}
+
+// nameRe is the registrable metric name shape: snake_case, starting
+// with a letter. (Prometheus also allows capitals and colons; genasm
+// deliberately does not — one convention, machine-checked.)
+var nameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// CheckMetricName validates name for a metric of the given kind against
+// the genasm naming convention: snake_case ASCII, counters end in
+// _total, non-counters must not claim the _total suffix. The metricname
+// lint analyzer applies the same rules statically at registration call
+// sites; this function is the runtime backstop.
+func CheckMetricName(name string, kind Kind) error {
+	if !nameRe.MatchString(name) {
+		return fmt.Errorf("obs: metric name %q is not snake_case ([a-z0-9_], starting with a letter, no leading/trailing/double underscore)", name)
+	}
+	hasTotal := strings.HasSuffix(name, "_total")
+	if kind == KindCounter && !hasTotal {
+		return fmt.Errorf("obs: counter %q must end in _total", name)
+	}
+	if kind != KindCounter && hasTotal {
+		return fmt.Errorf("obs: %s %q must not end in _total (reserved for counters)", kind, name)
+	}
+	return nil
+}
+
+// Registry holds named metrics and renders them for exposition. Const
+// labels (e.g. backend="cpu") are applied to every metric. Registration
+// happens at construction time and panics on an invalid or duplicate
+// name — like a nil-map write, it is a programming error no caller can
+// meaningfully handle.
+type Registry struct {
+	mu     sync.Mutex
+	labels []Attr // const label set, rendered on every series
+	byName map[string]*metric
+}
+
+// NewRegistry returns a registry whose every metric carries the given
+// const labels (may be nil).
+func NewRegistry(constLabels ...Attr) *Registry {
+	return &Registry{labels: constLabels, byName: make(map[string]*metric)}
+}
+
+func (r *Registry) register(m *metric) {
+	if err := CheckMetricName(m.name, m.kind); err != nil {
+		panic(err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", m.name))
+	}
+	r.byName[m.name] = m
+}
+
+// Counter registers and returns a counter. The name must be snake_case
+// and end in _total.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: KindCounter, counter: c})
+	return c
+}
+
+// CounterFunc registers a counter whose value is computed at scrape
+// time (for counters owned by another subsystem, e.g. backend stats).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: KindCounter, fn: fn})
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: KindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: KindGauge, fn: fn})
+}
+
+// Histogram registers and returns a fixed-bucket cumulative histogram
+// with the given finite upper bounds (strictly increasing; +Inf is
+// implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h, err := newHistogram(bounds)
+	if err != nil {
+		panic(err)
+	}
+	r.register(&metric{name: name, help: help, kind: KindHistogram, hist: h})
+	return h
+}
+
+// snapshot returns the registered metrics sorted by name (scrape-stable
+// output order) plus the const label set.
+func (r *Registry) snapshot() ([]*metric, []Attr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, 0, len(r.byName))
+	for _, m := range r.byName {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out, r.labels
+}

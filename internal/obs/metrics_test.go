@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Add(3)
+	c.Add(2)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Add(4)
+	g.Add(-1)
+	if g.Load() != 3 {
+		t.Fatalf("gauge = %d, want 3", g.Load())
+	}
+	g.Store(42)
+	if g.Load() != 42 {
+		t.Fatalf("gauge after Store = %d, want 42", g.Load())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 105 {
+		t.Fatalf("sum = %g, want 105", got)
+	}
+	if got := h.Mean(); got != 26.25 {
+		t.Fatalf("mean = %g", got)
+	}
+	cum := h.Cumulative()
+	want := []uint64{1, 2, 3, 4}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative = %v, want %v", cum, want)
+		}
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, bounds := range [][]float64{
+		nil,
+		{},
+		{1, 1},
+		{2, 1},
+		{1, math.Inf(1)},
+		{math.NaN()},
+	} {
+		if _, err := newHistogram(bounds); err == nil {
+			t.Fatalf("bounds %v accepted, want error", bounds)
+		}
+	}
+}
+
+// TestQuantileNoFloorBias pins the satellite fix: the retired
+// sliding-window estimator indexed sorted samples with int(p*(n-1)),
+// which floors — for 200 samples 1..200 it reported p99 as sample 197
+// instead of ~198. The histogram quantile interpolates within the
+// bucket, so on a uniform distribution over integer-bounded buckets the
+// estimate lands within one bucket width of the exact value, on the
+// correct side.
+func TestQuantileNoFloorBias(t *testing.T) {
+	bounds := make([]float64, 200)
+	for i := range bounds {
+		bounds[i] = float64(i + 1)
+	}
+	h, err := newHistogram(bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 samples: 1, 2, ..., 200 (one per bucket).
+	for i := 1; i <= 200; i++ {
+		h.Observe(float64(i))
+	}
+	cases := []struct {
+		p    float64
+		want float64 // exact value of the p-quantile for this distribution
+	}{
+		{0.50, 100},
+		{0.90, 180},
+		{0.99, 198},
+		{1.00, 200},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.p)
+		if math.Abs(got-c.want) > 1.0 {
+			t.Errorf("Quantile(%g) = %g, want %g +/- 1", c.p, got, c.want)
+		}
+		// The old estimator's floor bias showed as p99 = 197 exactly; the
+		// interpolated estimate must not fall below want-1.
+		if got < c.want-1 {
+			t.Errorf("Quantile(%g) = %g under-reports (floor bias regression)", c.p, got)
+		}
+	}
+}
+
+func TestQuantileInterpolatesWithinBucket(t *testing.T) {
+	h, err := newHistogram([]float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 observations, all in the (10, 20] bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	// p50 rank = 5 of 10 in a bucket spanning 10..20 → 15.
+	if got := h.Quantile(0.5); got != 15 {
+		t.Fatalf("Quantile(0.5) = %g, want 15", got)
+	}
+	// p100 → upper bound of the occupied bucket.
+	if got := h.Quantile(1); got != 20 {
+		t.Fatalf("Quantile(1) = %g, want 20", got)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	h, err := newHistogram([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", got)
+	}
+	h.Observe(50) // lands in +Inf bucket
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("+Inf-bucket quantile = %g, want clamp to 2", got)
+	}
+	h2, _ := newHistogram([]float64{1, 2})
+	h2.Observe(0.5)
+	if got := h2.Quantile(-1); got > 1 {
+		t.Fatalf("clamped p<0 quantile = %g", got)
+	}
+	if got := h2.Quantile(2); got > 1 {
+		t.Fatalf("clamped p>1 quantile = %g", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h, err := newHistogram(DefaultLatencyBuckets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(g%4) * 0.001)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	cum := h.Cumulative()
+	if cum[len(cum)-1] != 8000 {
+		t.Fatalf("+Inf cumulative = %d, want 8000", cum[len(cum)-1])
+	}
+	wantSum := float64(2000*0 + 2000*0.001 + 2000*0.002 + 2000*0.003)
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+func TestCheckMetricName(t *testing.T) {
+	good := []struct {
+		name string
+		kind Kind
+	}{
+		{"genasm_requests_total", KindCounter},
+		{"queue_depth", KindGauge},
+		{"genasm_e2e_latency_seconds", KindHistogram},
+		{"a", KindGauge},
+	}
+	for _, c := range good {
+		if err := CheckMetricName(c.name, c.kind); err != nil {
+			t.Errorf("CheckMetricName(%q, %v) = %v, want nil", c.name, c.kind, err)
+		}
+	}
+	bad := []struct {
+		name string
+		kind Kind
+	}{
+		{"Requests_total", KindCounter},  // capital
+		{"requests", KindCounter},        // counter without _total
+		{"queue_depth_total", KindGauge}, // gauge claiming _total
+		{"lat_seconds_total", KindHistogram},
+		{"_leading", KindGauge},
+		{"trailing_", KindGauge},
+		{"double__under", KindGauge},
+		{"has-dash_total", KindCounter},
+		{"", KindGauge},
+		{"9starts_with_digit", KindGauge},
+	}
+	for _, c := range bad {
+		if err := CheckMetricName(c.name, c.kind); err == nil {
+			t.Errorf("CheckMetricName(%q, %v) accepted, want error", c.name, c.kind)
+		}
+	}
+}
+
+func TestRegistryPanicsOnBadRegistration(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("dup_total", "first")
+	mustPanic("duplicate", func() { r.Counter("dup_total", "again") })
+	mustPanic("bad name", func() { r.Gauge("Bad-Name", "x") })
+	mustPanic("counter no _total", func() { r.Counter("requests", "x") })
+	mustPanic("bad bounds", func() { r.Histogram("h_seconds", "x", []float64{2, 1}) })
+}
+
+func TestRegistryFuncMetrics(t *testing.T) {
+	r := NewRegistry(String("backend", "cpu"))
+	n := 0.0
+	r.CounterFunc("scrapes_total", "computed", func() float64 { n += 2; return n })
+	r.GaugeFunc("live", "computed gauge", func() float64 { return 7 })
+	metrics, labels := r.snapshot()
+	if len(labels) != 1 || labels[0].Key != "backend" || labels[0].Value != "cpu" {
+		t.Fatalf("labels = %v", labels)
+	}
+	byName := map[string]*metric{}
+	for _, m := range metrics {
+		byName[m.name] = m
+	}
+	if got := byName["scrapes_total"].value(); got != 2 {
+		t.Fatalf("CounterFunc value = %g", got)
+	}
+	if got := byName["live"].value(); got != 7 {
+		t.Fatalf("GaugeFunc value = %g", got)
+	}
+}

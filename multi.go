@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"genasm/internal/obs"
 )
 
 // ShardError attributes a composite-backend failure to the shard that
@@ -186,7 +188,13 @@ func (b *multiBackend) AlignBatch(ctx context.Context, cfg Config, pairs []Pair)
 		wg.Add(1)
 		go func(shard, i, lo, hi int, child Backend) {
 			defer wg.Done()
+			// Each shard records its own span on the batch trace (if one
+			// rides the context): concurrent recording is safe, and the
+			// nil trace no-ops.
+			sp := obs.StartSpan(ctx, "shard",
+				obs.String("backend", b.names[i]), obs.Int("lo", lo), obs.Int("hi", hi))
 			res, err := child.AlignBatch(ctx, cfg, pairs[lo:hi])
+			sp.End()
 			if err == nil && len(res) != hi-lo {
 				// A contract-violating child (short or long result slice)
 				// must fail loudly, not truncate into zero-valued Results.

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"genasm/internal/cliutil"
+	"genasm/internal/obs"
 )
 
 // Errors surfaced to the HTTP layer (mapped to 429 and 503).
@@ -138,6 +140,9 @@ type Config struct {
 	// DrainGrace is how long Close waits for running jobs to finish
 	// before canceling them and marking them failed (default 10s).
 	DrainGrace time.Duration
+	// Logger receives job lifecycle transitions (submitted, running,
+	// terminal states, sweeps). Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -155,6 +160,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.DrainGrace <= 0 {
 		c.DrainGrace = 10 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 }
 
@@ -341,6 +349,8 @@ func (m *Manager) Submit(spec Spec, input io.Reader, ext string) (Snapshot, erro
 	snap := j.snapshotLocked()
 	m.cond.Signal()
 	m.mu.Unlock()
+	m.cfg.Logger.Info("job submitted",
+		"job_id", j.id, "ref", spec.Ref, "format", spec.Format)
 	return snap, nil
 }
 
@@ -400,6 +410,8 @@ func (m *Manager) worker() {
 		m.queued--
 		m.stats.running.Add(1)
 		m.mu.Unlock()
+		m.cfg.Logger.Info("job running", "job_id", j.id,
+			"queue_wait_ms", float64(j.started.Sub(j.created))/float64(time.Millisecond))
 		m.runJob(ctx, cancel, j)
 	}
 }
@@ -414,7 +426,6 @@ func (m *Manager) runJob(ctx context.Context, cancel context.CancelFunc, j *job)
 	})
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j.cancel = nil
 	j.finished = time.Now()
 	m.stats.running.Add(-1)
@@ -440,6 +451,18 @@ func (m *Manager) runJob(ctx context.Context, cancel context.CancelFunc, j *job)
 		j.state = Failed
 		j.errMsg = err.Error()
 		m.stats.failed.Add(1)
+	}
+	state, errMsg := j.state, j.errMsg
+	runMS := float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	reads, readsFailed := j.progress.done.Load(), j.progress.failed.Load()
+	resBytes := j.resBytes
+	m.mu.Unlock()
+	attrs := []any{"job_id", j.id, "state", string(state), "run_ms", runMS,
+		"reads_done", reads, "reads_failed", readsFailed, "result_bytes", resBytes}
+	if state == Done {
+		m.cfg.Logger.Info("job finished", attrs...)
+	} else {
+		m.cfg.Logger.Warn("job finished", append(attrs, "error", errMsg)...)
 	}
 }
 
@@ -591,6 +614,9 @@ func (m *Manager) Sweep() int {
 			}
 		}
 		m.order = live
+	}
+	if n > 0 {
+		m.cfg.Logger.Debug("jobs swept", "count", n)
 	}
 	return n
 }

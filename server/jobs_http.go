@@ -9,9 +9,11 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"genasm/internal/obs"
 	"genasm/internal/readsim"
 	"genasm/internal/samfmt"
 	"genasm/server/jobs"
@@ -212,11 +214,24 @@ func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 // Cancellation (DELETE, drain) is observed between batches and inside
 // the scheduler wait, so a cancel takes effect within one batch.
 func (s *Server) runBulkJob(ctx context.Context, spec jobs.Spec, inputPath string, out io.Writer, p *jobs.Progress) error {
+	// The job gets its own trace (ID = the job ID, recovered from the
+	// spool path), threaded through the scheduler like a request's: the
+	// span cap bounds what a genome-sized job records, and the finished
+	// trace lands in the same /debug/traces ring.
+	jtr := obs.NewTrace("job "+spec.Format, filepath.Base(filepath.Dir(inputPath)))
+	defer func() {
+		jtr.Finish()
+		s.traces.Add(jtr)
+	}()
+	ctx = obs.WithTrace(ctx, jtr)
+
 	ref, ok := s.registry.Get(spec.Ref)
 	if !ok {
 		return fmt.Errorf("reference %q no longer registered", spec.Ref)
 	}
+	parseSp := jtr.Start("parse_input")
 	reads, err := readsim.LoadReadsFile(inputPath)
+	parseSp.End()
 	if err != nil {
 		return fmt.Errorf("parsing job input: %w", err)
 	}

@@ -1,113 +1,134 @@
 package server
 
 import (
-	"sort"
+	"io"
 	"strconv"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"genasm/internal/obs"
 
 	"genasm/server/jobs"
 )
 
 // batchBuckets are the upper bounds of the batch-size histogram buckets
 // (cumulative, Prometheus-style; the implicit last bucket is +Inf).
-var batchBuckets = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
-// latencyWindow is how many recent request latencies the percentile
-// estimator keeps (a sliding window, overwritten in arrival order).
-const latencyWindow = 2048
-
-// Metrics aggregates the server's operational counters. All methods are
-// safe for concurrent use; Snapshot serializes the current state for the
-// /metrics endpoint (expvar-style: flat JSON, monotonic counters plus a
-// few gauges).
+// Metrics aggregates the server's operational counters, gauges and
+// stage-latency histograms on an obs.Registry, so one instrument feeds
+// both the JSON snapshot (/metrics) and the Prometheus text exposition
+// (/metrics?format=prometheus). All fields are safe for concurrent use.
+//
+// Latencies are fixed-bucket cumulative histograms, not a sliding
+// window: bucket counts only ever grow, so consecutive scrapes subtract
+// cleanly and percentiles come from in-bucket interpolation instead of
+// a truncating sample index.
 type Metrics struct {
 	start   time.Time
 	backend string
+	reg     *obs.Registry
 
-	requests     atomic.Int64 // HTTP requests accepted (any endpoint)
-	requestErrs  atomic.Int64 // HTTP requests answered with a 4xx/5xx
-	pairsIn      atomic.Int64 // alignment pairs admitted to the scheduler
-	pairsDone    atomic.Int64 // alignment pairs completed by a backend batch
-	rejected     atomic.Int64 // submissions refused by admission control (429)
-	batches      atomic.Int64 // backend batches executed
-	batchPairs   atomic.Int64 // total pairs across executed batches
-	batchErrs    atomic.Int64 // backend batches that failed
-	queueDepth   atomic.Int64 // pairs queued or in flight right now
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
-	refsLoaded   atomic.Int64 // references currently registered
-	readsMapped  atomic.Int64 // map-align reads with >= 1 candidate location
-	readsNoCands atomic.Int64 // map-align reads with no candidate location
+	requests     *obs.Counter // HTTP requests accepted (any endpoint)
+	requestErrs  *obs.Counter // HTTP requests answered with a 4xx/5xx
+	pairsIn      *obs.Counter // alignment pairs admitted to the scheduler
+	pairsDone    *obs.Counter // alignment pairs completed by a backend batch
+	rejected     *obs.Counter // submissions refused by admission control (429)
+	batches      *obs.Counter // backend batches executed
+	batchPairs   *obs.Counter // total pairs across executed batches
+	batchErrs    *obs.Counter // backend batches that failed
+	queueDepth   *obs.Gauge   // pairs queued or in flight right now
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	refsLoaded   *obs.Gauge   // references currently registered
+	readsMapped  *obs.Counter // map-align reads with >= 1 candidate location
+	readsNoCands *obs.Counter // map-align reads with no candidate location
 
-	histMu sync.Mutex
-	hist   [10]int64 // batchBuckets + +Inf
-
-	latMu  sync.Mutex
-	lat    [latencyWindow]float64 // milliseconds
-	latN   int                    // total observations
-	latLen int                    // filled entries
+	batchSize   *obs.Histogram // pairs per executed batch
+	queueWait   *obs.Histogram // seconds a submission waited to be claimed
+	backendExec *obs.Histogram // seconds one Engine.AlignBatch call took
+	e2e         *obs.Histogram // seconds per HTTP request, handler-to-handler
 }
 
 // NewMetrics returns a Metrics clock-started now, labeled with the
-// engine's backend name (e.g. "cpu", "multi(cpu,gpu)").
+// engine's backend name (e.g. "cpu", "multi(cpu,gpu)") — the label
+// rides on every Prometheus series.
 func NewMetrics(backend string) *Metrics {
-	return &Metrics{start: time.Now(), backend: backend}
+	reg := obs.NewRegistry(obs.String("backend", backend))
+	m := &Metrics{
+		start:   time.Now(),
+		backend: backend,
+		reg:     reg,
+
+		requests:     reg.Counter("genasm_requests_total", "HTTP requests accepted (any endpoint)."),
+		requestErrs:  reg.Counter("genasm_request_errors_total", "HTTP requests answered with a 4xx or 5xx status."),
+		pairsIn:      reg.Counter("genasm_pairs_enqueued_total", "Alignment pairs admitted to the scheduler."),
+		pairsDone:    reg.Counter("genasm_pairs_done_total", "Alignment pairs completed by a backend batch."),
+		rejected:     reg.Counter("genasm_rejected_total", "Submissions refused by admission control (429)."),
+		batches:      reg.Counter("genasm_batches_total", "Backend batches executed."),
+		batchPairs:   reg.Counter("genasm_batch_pairs_total", "Total pairs across executed batches."),
+		batchErrs:    reg.Counter("genasm_batch_errors_total", "Backend batches that failed."),
+		queueDepth:   reg.Gauge("genasm_queue_depth", "Pairs queued or in flight right now."),
+		cacheHits:    reg.Counter("genasm_cache_hits_total", "Result-cache hits."),
+		cacheMisses:  reg.Counter("genasm_cache_misses_total", "Result-cache misses."),
+		refsLoaded:   reg.Gauge("genasm_refs_loaded", "References currently registered."),
+		readsMapped:  reg.Counter("genasm_reads_mapped_total", "Map-align reads with at least one candidate location."),
+		readsNoCands: reg.Counter("genasm_reads_unmapped_total", "Map-align reads with no candidate location."),
+
+		batchSize: reg.Histogram("genasm_batch_size_pairs",
+			"Pairs per executed backend batch.", batchBuckets),
+		queueWait: reg.Histogram("genasm_queue_wait_seconds",
+			"Time a submission spent waiting in the scheduler queue before its batch was claimed.",
+			obs.DefaultLatencyBuckets),
+		backendExec: reg.Histogram("genasm_backend_exec_seconds",
+			"Wall time of one backend AlignBatch call.", obs.DefaultLatencyBuckets),
+		e2e: reg.Histogram("genasm_e2e_latency_seconds",
+			"End-to-end HTTP request latency.", obs.DefaultLatencyBuckets),
+	}
+	reg.GaugeFunc("genasm_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	return m
 }
 
-func (m *Metrics) observeBatch(pairs int) {
+// Registry exposes the underlying metric registry so the server can
+// hang scrape-time metrics (cache size, backend stats, jobs lane) onto
+// the same exposition.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// WritePrometheus renders every metric in the Prometheus text
+// exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	return obs.WritePrometheus(w, m.reg)
+}
+
+func (m *Metrics) observeBatch(pairs int, execDur time.Duration) {
 	m.batches.Add(1)
 	m.batchPairs.Add(int64(pairs))
-	i := sort.SearchInts(batchBuckets, pairs)
-	m.histMu.Lock()
-	m.hist[i]++
-	m.histMu.Unlock()
+	m.batchSize.Observe(float64(pairs))
+	m.backendExec.Observe(execDur.Seconds())
 }
 
-func (m *Metrics) observeLatency(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	m.latMu.Lock()
-	m.lat[m.latN%latencyWindow] = ms
-	m.latN++
-	if m.latLen < latencyWindow {
-		m.latLen++
-	}
-	m.latMu.Unlock()
-}
+func (m *Metrics) observeQueueWait(d time.Duration) { m.queueWait.Observe(d.Seconds()) }
 
-// percentiles returns the p50/p90/p99 of the latency window, in ms.
-func (m *Metrics) percentiles() (p50, p90, p99 float64) {
-	m.latMu.Lock()
-	n := m.latLen
-	window := make([]float64, n)
-	copy(window, m.lat[:n])
-	m.latMu.Unlock()
-	if n == 0 {
-		return 0, 0, 0
-	}
-	sort.Float64s(window)
-	at := func(p float64) float64 {
-		i := int(p * float64(n-1))
-		return window[i]
-	}
-	return at(0.50), at(0.90), at(0.99)
+func (m *Metrics) observeRequest(d time.Duration) { m.e2e.Observe(d.Seconds()) }
+
+// quantilesMS renders a histogram's p50/p90/p99 in milliseconds.
+func quantilesMS(h *obs.Histogram) (p50, p90, p99 float64) {
+	const ms = 1000
+	return h.Quantile(0.50) * ms, h.Quantile(0.90) * ms, h.Quantile(0.99) * ms
 }
 
 // Snapshot returns the current metrics as a JSON-encodable map.
 func (m *Metrics) Snapshot() map[string]any {
-	m.histMu.Lock()
-	hist := make(map[string]int64, len(m.hist))
-	var cum int64
+	hist := make(map[string]int64, len(batchBuckets)+1)
+	cum := m.batchSize.Cumulative()
 	for i, upper := range batchBuckets {
-		cum += m.hist[i]
-		hist[strconv.Itoa(upper)] = cum
+		hist[strconv.Itoa(int(upper))] = int64(cum[i])
 	}
-	cum += m.hist[len(batchBuckets)]
-	hist["+Inf"] = cum
-	m.histMu.Unlock()
+	hist["+Inf"] = int64(cum[len(cum)-1])
 
-	p50, p90, p99 := m.percentiles()
+	p50, p90, p99 := quantilesMS(m.e2e)
+	qw50, qw90, qw99 := quantilesMS(m.queueWait)
+	be50, be90, be99 := quantilesMS(m.backendExec)
 	batches := m.batches.Load()
 	meanBatch := 0.0
 	if batches > 0 {
@@ -129,6 +150,12 @@ func (m *Metrics) Snapshot() map[string]any {
 		"latency_ms_p50":       p50,
 		"latency_ms_p90":       p90,
 		"latency_ms_p99":       p99,
+		"queue_wait_ms_p50":    qw50,
+		"queue_wait_ms_p90":    qw90,
+		"queue_wait_ms_p99":    qw99,
+		"backend_exec_ms_p50":  be50,
+		"backend_exec_ms_p90":  be90,
+		"backend_exec_ms_p99":  be99,
 		"cache_hits_total":     m.cacheHits.Load(),
 		"cache_misses_total":   m.cacheMisses.Load(),
 		"refs_loaded":          m.refsLoaded.Load(),

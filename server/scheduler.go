@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"genasm"
+	"genasm/internal/obs"
 )
 
 // Scheduler errors surfaced to callers (the HTTP layer maps ErrQueueFull
@@ -50,10 +51,14 @@ func (c *SchedulerConfig) fillDefaults() {
 
 // schedJob is one Submit call: its pairs travel through a backend batch
 // together with other jobs' pairs, and its results come back on done.
+// trace is the submitter's request trace (nil when the caller's context
+// carries none): the executor records the job's queue wait on it and
+// splices in the shared batch spans before signalling done.
 type schedJob struct {
 	pairs    []genasm.Pair
 	done     chan schedResult // buffered(1): the executor never blocks
 	enqueued time.Time
+	trace    *obs.Trace
 }
 
 type schedResult struct {
@@ -127,7 +132,12 @@ func (s *Scheduler) submit(ctx context.Context, pairs []genasm.Pair) ([]genasm.R
 	if len(pairs) == 0 {
 		return []genasm.Result{}, ctx.Err()
 	}
-	j := &schedJob{pairs: pairs, done: make(chan schedResult, 1), enqueued: time.Now()}
+	j := &schedJob{
+		pairs:    pairs,
+		done:     make(chan schedResult, 1),
+		enqueued: time.Now(),
+		trace:    obs.FromContext(ctx),
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -157,9 +167,6 @@ func (s *Scheduler) submit(ctx context.Context, pairs []genasm.Pair) ([]genasm.R
 
 	select {
 	case r := <-j.done:
-		if r.err == nil {
-			s.m.observeLatency(time.Since(j.enqueued))
-		}
 		return r.results, r.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -220,20 +227,44 @@ func (s *Scheduler) dispatch(batch []*schedJob) {
 
 func (s *Scheduler) runBatch(batch []*schedJob) {
 	defer s.wg.Done()
+	claimed := time.Now()
 	n := 0
+	traced := false
 	for _, j := range batch {
 		n += len(j.pairs)
+		wait := claimed.Sub(j.enqueued)
+		s.m.observeQueueWait(wait)
+		j.trace.Record("queue_wait", j.enqueued, wait, obs.Int("pairs", len(j.pairs)))
+		traced = traced || j.trace != nil
+	}
+	// The batch serves many requests at once, so its shared stages
+	// (assembly, backend execution, composite shard fan-out) record onto
+	// one batch trace that is spliced into every co-batched request's
+	// trace afterwards. Untraced batches skip the bookkeeping entirely.
+	var btr *obs.Trace
+	if traced {
+		btr = obs.NewTrace("batch", "")
 	}
 	all := make([]genasm.Pair, 0, n)
 	for _, j := range batch {
 		all = append(all, j.pairs...)
 	}
-	// The batch serves many requests, so it runs under the scheduler's
-	// lifetime, not any single caller's context: one impatient client
-	// must not cancel its co-batched neighbours.
+	btr.Record("batch_assemble", claimed, time.Since(claimed),
+		obs.Int("pairs", n), obs.Int("requests", len(batch)))
+	// The batch runs under the scheduler's lifetime, not any single
+	// caller's context: one impatient client must not cancel its
+	// co-batched neighbours.
 	//lint:allow ctxflow a coalesced batch must outlive every submitter's ctx; Close drains via wg, not cancellation
-	results, err := s.eng.AlignBatch(context.Background(), all)
-	s.m.observeBatch(n)
+	ctx := context.Background()
+	if btr != nil {
+		ctx = obs.WithTrace(ctx, btr)
+	}
+	execStart := time.Now()
+	results, err := s.eng.AlignBatch(ctx, all)
+	execDur := time.Since(execStart)
+	btr.Record("backend_exec", execStart, execDur,
+		obs.String("backend", s.eng.BackendName()), obs.Int("pairs", n))
+	s.m.observeBatch(n, execDur)
 	if err != nil {
 		s.m.batchErrs.Add(1)
 		err = fmt.Errorf("server: batch of %d pairs: %w", n, err)
@@ -242,6 +273,9 @@ func (s *Scheduler) runBatch(batch []*schedJob) {
 	}
 	off := 0
 	for _, j := range batch {
+		// Splice the shared batch spans in before signalling done, so a
+		// submitter that resumes immediately sees a complete trace.
+		j.trace.Absorb(btr)
 		if err != nil {
 			j.done <- schedResult{err: err}
 		} else {

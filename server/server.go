@@ -13,9 +13,15 @@
 //     /refs) into a shared read-only *genasm.Mapper.
 //   - Cache: an LRU of Results keyed on (engine fingerprint, reference,
 //     query) with hit/miss accounting.
-//   - Metrics: /metrics (expvar-style JSON counters: queue depth, batch
-//     size histogram, latency percentiles, cache hits, plus the engine
-//     backend's own batch/pair/shard counters) and /healthz.
+//   - Observability: every request runs under an internal/obs trace
+//     (X-Request-Id in and out, per-stage spans: queue wait, batch
+//     assembly, backend execution, shard fan-out, serialization) with
+//     the most recent traces at /debug/traces; /metrics serves the same
+//     instruments as flat JSON or Prometheus text exposition
+//     (?format=prometheus or Accept), latency percentiles coming from
+//     fixed-bucket cumulative histograms; /healthz reports backend,
+//     refs, jobs-lane status and build info; request lines log through
+//     log/slog with the trace ID attached.
 //   - Backends: /backends lists every registered backend name and the
 //     active backend's capabilities and stats — the engine's
 //     database/sql-style driver registry, surfaced over HTTP.
@@ -46,9 +52,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
 
 	"genasm"
+	"genasm/internal/obs"
 	"genasm/internal/samfmt"
 	"genasm/server/jobs"
 )
@@ -76,6 +87,16 @@ type Config struct {
 	// answer 503. When enabled with Workers == 0, the pool is sized
 	// from the engine backend's Capabilities (Parallelism/4, min 1).
 	Jobs jobs.Config
+	// Logger receives the server's structured request and lifecycle
+	// logs. Nil discards everything (tests, embedded use).
+	Logger *slog.Logger
+	// SlowRequest is the latency threshold above which a request's full
+	// span tree is logged at Warn level. Zero disables slow-request
+	// logging.
+	SlowRequest time.Duration
+	// TraceBuffer is how many recent request traces the GET
+	// /debug/traces ring buffer retains (default 128).
+	TraceBuffer int
 }
 
 func (c *Config) fillDefaults() {
@@ -91,6 +112,12 @@ func (c *Config) fillDefaults() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 256 << 20
 	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
+	if c.TraceBuffer <= 0 {
+		c.TraceBuffer = 128
+	}
 }
 
 // Server wires the scheduler, registry, cache and metrics behind an
@@ -105,6 +132,9 @@ type Server struct {
 	metrics     *Metrics
 	jobs        *jobs.Manager // nil when the bulk lane is disabled
 	mux         *http.ServeMux
+	log         *slog.Logger
+	traces      *obs.TraceLog
+	build       obs.BuildInfo
 }
 
 // New validates cfg, builds the engine and assembles the service.
@@ -124,6 +154,9 @@ func New(cfg Config) (*Server, error) {
 		cache:       NewCache(cfg.CacheSize),
 		metrics:     m,
 		mux:         http.NewServeMux(),
+		log:         cfg.Logger,
+		traces:      obs.NewTraceLog(cfg.TraceBuffer),
+		build:       obs.ReadBuildInfo(),
 	}
 	s.mux.HandleFunc("POST /align", s.handleAlign)
 	s.mux.HandleFunc("POST /map-align", s.handleMapAlign)
@@ -134,6 +167,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /backends", s.handleBackends)
+	s.mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
 	s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
@@ -146,6 +180,9 @@ func New(cfg Config) (*Server, error) {
 			// leaving the interactive lane headroom.
 			cfg.Jobs.Workers = max(1, eng.Capabilities().Parallelism/4)
 		}
+		if cfg.Jobs.Logger == nil {
+			cfg.Jobs.Logger = cfg.Logger
+		}
 		mgr, err := jobs.NewManager(cfg.Jobs, s.runBulkJob)
 		if err != nil {
 			s.sched.Close()
@@ -154,22 +191,96 @@ func New(cfg Config) (*Server, error) {
 		s.jobs = mgr
 		s.cfg.Jobs = cfg.Jobs
 	}
+	s.registerScrapeMetrics()
 	return s, nil
 }
 
-// Handler returns the service's HTTP handler (request-counting wrapper
-// around the route mux).
+// registerScrapeMetrics hangs metrics owned by other subsystems (cache,
+// engine backend, jobs lane) onto the Prometheus exposition as
+// scrape-time functions, so both /metrics representations draw from the
+// same sources.
+func (s *Server) registerScrapeMetrics() {
+	reg := s.metrics.Registry()
+	reg.GaugeFunc("genasm_cache_entries", "Result-cache entries resident.",
+		func() float64 { return float64(s.cache.Len()) })
+	reg.GaugeFunc("genasm_cache_capacity", "Result-cache capacity in entries.",
+		func() float64 { return float64(s.cache.Cap()) })
+	reg.CounterFunc("genasm_backend_batches_total", "AlignBatch executions counted by the engine backend.",
+		func() float64 { return float64(s.eng.BackendStats().Batches) })
+	reg.CounterFunc("genasm_backend_pairs_total", "Pairs aligned, counted by the engine backend.",
+		func() float64 { return float64(s.eng.BackendStats().Pairs) })
+	reg.CounterFunc("genasm_backend_shards_total", "Child dispatches performed by a composite backend.",
+		func() float64 { return float64(s.eng.BackendStats().Shards) })
+	if s.jobs == nil {
+		return
+	}
+	jst := func(f func(jobs.Stats) int64) func() float64 {
+		return func() float64 { return float64(f(s.jobs.Stats())) }
+	}
+	reg.CounterFunc("genasm_jobs_submitted_total", "Bulk jobs accepted.", jst(func(st jobs.Stats) int64 { return st.Submitted }))
+	reg.CounterFunc("genasm_jobs_done_total", "Bulk jobs finished successfully.", jst(func(st jobs.Stats) int64 { return st.Done }))
+	reg.CounterFunc("genasm_jobs_failed_total", "Bulk jobs that errored.", jst(func(st jobs.Stats) int64 { return st.Failed }))
+	reg.CounterFunc("genasm_jobs_canceled_total", "Bulk jobs canceled.", jst(func(st jobs.Stats) int64 { return st.Canceled }))
+	reg.CounterFunc("genasm_jobs_swept_total", "Terminal bulk jobs garbage-collected.", jst(func(st jobs.Stats) int64 { return st.Swept }))
+	reg.GaugeFunc("genasm_jobs_queued", "Bulk jobs queued, not yet running.", jst(func(st jobs.Stats) int64 { return st.Queued }))
+	reg.GaugeFunc("genasm_jobs_running", "Bulk jobs running right now.", jst(func(st jobs.Stats) int64 { return st.Running }))
+	reg.CounterFunc("genasm_jobs_reads_done_total", "Reads processed across bulk jobs.", jst(func(st jobs.Stats) int64 { return st.ReadsDone }))
+	reg.CounterFunc("genasm_jobs_reads_failed_total", "Reads with per-read errors across bulk jobs.", jst(func(st jobs.Stats) int64 { return st.ReadsFailed }))
+	reg.CounterFunc("genasm_jobs_result_bytes_total", "Bytes of completed bulk-job results produced.", jst(func(st jobs.Stats) int64 { return st.ResultBytes }))
+}
+
+// introspection reports whether path is a monitoring surface (scrapes,
+// health probes, trace dumps). Those requests are served and counted
+// but excluded from the e2e latency histogram, the /debug/traces ring
+// and Info-level request logging, so watching the server does not
+// drown out the workload being watched.
+func introspection(path string) bool {
+	return path == "/metrics" || path == "/healthz" || strings.HasPrefix(path, "/debug/")
+}
+
+// Handler returns the service's HTTP handler: a wrapper around the
+// route mux that counts requests, starts a per-request trace (honoring
+// a client-supplied X-Request-Id, echoing the ID back in the response),
+// records end-to-end latency, logs a structured request line carrying
+// the trace ID, and files the finished trace in the /debug/traces ring.
+// Requests slower than Config.SlowRequest log their full span tree at
+// Warn level.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.requests.Add(1)
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		tr := obs.NewTrace(r.Method+" "+r.URL.Path, r.Header.Get("X-Request-Id"))
+		w.Header().Set("X-Request-Id", tr.ID)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		s.mux.ServeHTTP(rec, r)
+		s.mux.ServeHTTP(rec, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		dur := tr.Finish()
 		if rec.status >= 400 {
 			s.metrics.requestErrs.Add(1)
 		}
+		quiet := introspection(r.URL.Path)
+		if !quiet {
+			s.metrics.observeRequest(dur)
+			s.traces.Add(tr)
+		}
+		attrs := []any{
+			"trace_id", tr.ID,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_ms", durToMS(dur),
+		}
+		switch {
+		case s.cfg.SlowRequest > 0 && dur >= s.cfg.SlowRequest && !quiet:
+			s.log.Warn("slow request", append(attrs, "spans", tr.View().Spans)...)
+		case quiet:
+			s.log.Debug("request", attrs...)
+		default:
+			s.log.Info("request", attrs...)
+		}
 	})
 }
+
+func durToMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // Close drains the service. The bulk job lane drains first (queued jobs
 // cancel; running jobs get the configured grace to finish, after which
@@ -358,7 +469,10 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 			out[missIdx[j]] = toAlignResult(res, false)
 		}
 	}
+	sp := obs.StartSpan(r.Context(), "serialize",
+		obs.String("format", "json"), obs.Int("results", len(out)))
 	writeJSON(w, http.StatusOK, AlignResponse{Results: out})
+	sp.End()
 }
 
 func (s *Server) handleMapAlign(w http.ResponseWriter, r *http.Request) {
@@ -399,11 +513,14 @@ func (s *Server) handleMapAlign(w http.ResponseWriter, r *http.Request) {
 		writeSchedError(w, err)
 		return
 	}
+	sp := obs.StartSpan(r.Context(), "serialize",
+		obs.String("format", "json"), obs.Int("reads", len(aligned)))
 	results := make([]MappedRead, len(aligned))
 	for i, ar := range aligned {
 		results[i] = toMappedRead(req.Reads[i].Name, ar)
 	}
 	writeJSON(w, http.StatusOK, MapAlignResponse{Ref: req.Ref, Results: results})
+	sp.End()
 }
 
 // alignedRead is one read's outcome from alignReads. Exactly one of err,
@@ -553,6 +670,7 @@ func (s *Server) streamMapAlign(w http.ResponseWriter, r *http.Request, ref *Ref
 			sw.Flush()
 			return
 		}
+		emitStart := time.Now()
 		for i, ar := range aligned {
 			if ar.err != nil {
 				readErrs++
@@ -573,6 +691,8 @@ func (s *Server) streamMapAlign(w http.ResponseWriter, r *http.Request, ref *Ref
 		if err := sw.Flush(); err != nil {
 			return // client went away; nothing left to signal
 		}
+		obs.FromContext(r.Context()).Record("serialize", emitStart, time.Since(emitStart),
+			obs.String("format", string(format)), obs.Int("reads", len(chunk)))
 		// Only force bytes (and thus the 200 status line) out once there
 		// are bytes: an empty flush would commit the headers prematurely.
 		if cw.n > 0 && flusher != nil {
@@ -629,15 +749,68 @@ func (s *Server) handleRefDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := map[string]any{
+		"status":         "ok",
+		"backend":        s.eng.BackendName(),
+		"fingerprint":    s.fingerprint,
+		"refs":           s.registry.Len(),
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+		"version":        s.build.Version(),
+		"build":          s.build,
+	}
+	if s.jobs != nil {
+		st := s.jobs.Stats()
+		h["jobs"] = map[string]any{
+			"enabled": true,
+			"queued":  st.Queued,
+			"running": st.Running,
+		}
+	} else {
+		h["jobs"] = map[string]any{"enabled": false}
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handleDebugTraces answers GET /debug/traces: the most recent finished
+// request traces, newest first (?limit=N caps the count).
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "invalid limit %q", q)
+			return
+		}
+		limit = n
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"backend":     s.eng.BackendName(),
-		"fingerprint": s.fingerprint,
-		"refs":        s.registry.Len(),
+		"total":  s.traces.Total(),
+		"traces": s.traces.Snapshot(limit),
 	})
 }
 
+// handleMetrics answers GET /metrics in one of two representations:
+// the flat JSON snapshot (default) or the Prometheus text exposition
+// format, selected by ?format=prometheus (which wins) or an Accept
+// header naming text/plain or OpenMetrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		if a := r.Header.Get("Accept"); strings.Contains(a, "text/plain") ||
+			strings.Contains(a, "application/openmetrics-text") {
+			format = "prometheus"
+		}
+	}
+	switch format {
+	case "", "json":
+	case "prometheus":
+		w.Header().Set("Content-Type", obs.ExpositionContentType)
+		_ = s.metrics.WritePrometheus(w)
+		return
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (want json or prometheus)", format)
+		return
+	}
 	snap := s.metrics.Snapshot()
 	snap["cache_size"] = s.cache.Len()
 	snap["cache_capacity"] = s.cache.Cap()
