@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
@@ -36,8 +37,10 @@ import (
 	"genasm/internal/gpu"
 	"genasm/internal/gpualign"
 	"genasm/internal/ksw2"
+	"genasm/internal/loadgen"
 	"genasm/internal/stats"
 	"genasm/server"
+	"genasm/server/jobs"
 )
 
 var (
@@ -476,11 +479,14 @@ func BenchmarkSchedulerCoalesce(b *testing.B) {
 
 // benchJSONPath enables the machine-readable benchmark mode:
 //
-//	go test -run TestBenchJSON -benchjson BENCH_2.json .
+//	go test -run TestBenchJSON -benchjson BENCH_5.json .
 //
-// writes ns/op and alignments/sec for every built-in backend (cpu, gpu
-// and the multi sharding composite) and the serving scheduler, so the
-// perf trajectory is tracked across PRs.
+// writes a schema-3 report: ns/op and alignments/sec for every built-in
+// backend (cpu, gpu and the multi sharding composite) and the serving
+// scheduler, plus a "serving" section from a short in-process
+// internal/loadgen run over all five load scenarios — so both the
+// microbenchmark and the serving-latency trajectories are tracked
+// across PRs.
 var benchJSONPath = flag.String("benchjson", "", "write machine-readable benchmark results to this file")
 
 func TestBenchJSON(t *testing.T) {
@@ -537,7 +543,7 @@ func TestBenchJSON(t *testing.T) {
 	})
 
 	report := map[string]any{
-		"schema":     2,
+		"schema":     3,
 		"go":         runtime.Version(),
 		"gomaxprocs": runtime.GOMAXPROCS(0),
 		"workload": map[string]any{
@@ -551,6 +557,41 @@ func TestBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(*benchJSONPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serving section: boot the full server in-process (jobs lane
+	// enabled so the bulk scenario is exercised) and run every load
+	// scenario briefly; WriteBench merges the results into the report
+	// just written.
+	srv, err := server.New(server.Config{Jobs: jobs.Config{Dir: t.TempDir()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	var results []*loadgen.Result
+	for _, scenario := range loadgen.Scenarios() {
+		res, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL:  ts.URL,
+			Scenario: scenario,
+			Seed:     7,
+			Warmup:   300 * time.Millisecond,
+			Duration: 1200 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("serving scenario %s: %v", scenario, err)
+		}
+		t.Logf("%-9s rps %.1f p50 %.2fms p99 %.2fms req %d err %d 429 %d",
+			res.Scenario, res.AchievedRPS, res.P50ms, res.P99ms, res.Requests, res.Errors, res.Status429)
+		results = append(results, res)
+	}
+	if err := loadgen.WriteBench(*benchJSONPath, loadgen.Report{
+		Target: "in-process httptest", Seed: 7, Scenarios: results,
+	}); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", *benchJSONPath)

@@ -1,0 +1,91 @@
+package server_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"genasm/internal/loadgen"
+	"genasm/internal/obs"
+	"genasm/server"
+)
+
+// TestExpositionUnderSustainedLoad scrapes /metrics?format=prometheus
+// repeatedly while the loadgen mixed scenario (align, streamed
+// map-align in every format, cache-hit traffic) hammers the server, and
+// runs every scrape through the strict exposition checker. A histogram
+// whose cumulative buckets tear under concurrent observation, or a
+// label that goes malformed only when counters move mid-render, only
+// shows up on a live scrape — this is the pin.
+func TestExpositionUnderSustainedLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke test")
+	}
+	srv, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	resc := make(chan *loadgen.Result, 1)
+	errc := make(chan error, 1)
+	go func() {
+		res, err := loadgen.Run(ctx, loadgen.Config{
+			BaseURL:   ts.URL,
+			Scenario:  loadgen.ScenarioMixed,
+			Seed:      7,
+			Warmup:    200 * time.Millisecond,
+			Duration:  1500 * time.Millisecond,
+			GenomeLen: 30_000,
+		})
+		if err != nil {
+			errc <- err
+			return
+		}
+		resc <- res
+	}()
+
+	scrapes := 0
+	for {
+		select {
+		case err := <-errc:
+			t.Fatalf("load run failed: %v", err)
+		case res := <-resc:
+			if scrapes == 0 {
+				t.Fatal("no scrapes happened during the load window")
+			}
+			if res.Errors != 0 {
+				t.Fatalf("mixed load saw %d errors (last: %s)", res.Errors, res.LastError)
+			}
+			t.Logf("%d live scrapes validated under %d requests", scrapes, res.Requests)
+			return
+		default:
+		}
+		resp, err := http.Get(ts.URL + "/metrics?format=prometheus")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scrape status %d", resp.StatusCode)
+		}
+		if errs := obs.CheckExposition(data); len(errs) != 0 {
+			t.Fatalf("live exposition violations under load: %v\npayload:\n%s", errs, data)
+		}
+		scrapes++
+		time.Sleep(10 * time.Millisecond)
+	}
+}

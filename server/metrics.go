@@ -164,6 +164,75 @@ func (m *Metrics) Snapshot() map[string]any {
 	}
 }
 
+// Scrape is the typed client-side view of the /metrics JSON snapshot:
+// the fields a load client or monitoring tool needs, with json tags
+// matching Snapshot's keys so an HTTP scrape unmarshals directly into
+// it. Exported for internal/loadgen and cmd/genasm-loadgen; the
+// Snapshot↔Scrape field agreement is pinned by
+// TestSnapshotScrapeRoundTrip, so the JSON schema cannot drift away
+// from its typed consumers unnoticed.
+type Scrape struct {
+	RequestsTotal      int64   `json:"requests_total"`
+	RequestErrorsTotal int64   `json:"request_errors_total"`
+	RejectedTotal      int64   `json:"rejected_total"`
+	PairsEnqueuedTotal int64   `json:"pairs_enqueued_total"`
+	PairsDoneTotal     int64   `json:"pairs_done_total"`
+	BatchesTotal       int64   `json:"batches_total"`
+	BatchSizeMean      float64 `json:"batch_size_mean"`
+	QueueDepth         int64   `json:"queue_depth"`
+	CacheHitsTotal     int64   `json:"cache_hits_total"`
+	CacheMissesTotal   int64   `json:"cache_misses_total"`
+	ReadsMappedTotal   int64   `json:"reads_mapped_total"`
+	ReadsUnmappedTotal int64   `json:"reads_unmapped_total"`
+	LatencyMSP50       float64 `json:"latency_ms_p50"`
+	LatencyMSP99       float64 `json:"latency_ms_p99"`
+}
+
+// Scrape returns the current counters as the typed scrape view — the
+// in-process equivalent of unmarshaling GET /metrics.
+func (m *Metrics) Scrape() Scrape {
+	p50, _, p99 := quantilesMS(m.e2e)
+	batches := m.batches.Load()
+	meanBatch := 0.0
+	if batches > 0 {
+		meanBatch = float64(m.batchPairs.Load()) / float64(batches)
+	}
+	return Scrape{
+		RequestsTotal:      m.requests.Load(),
+		RequestErrorsTotal: m.requestErrs.Load(),
+		RejectedTotal:      m.rejected.Load(),
+		PairsEnqueuedTotal: m.pairsIn.Load(),
+		PairsDoneTotal:     m.pairsDone.Load(),
+		BatchesTotal:       batches,
+		BatchSizeMean:      meanBatch,
+		QueueDepth:         m.queueDepth.Load(),
+		CacheHitsTotal:     m.cacheHits.Load(),
+		CacheMissesTotal:   m.cacheMisses.Load(),
+		ReadsMappedTotal:   m.readsMapped.Load(),
+		ReadsUnmappedTotal: m.readsNoCands.Load(),
+		LatencyMSP50:       p50,
+		LatencyMSP99:       p99,
+	}
+}
+
+// Sub returns the counter-wise difference s - prev; point-in-time
+// fields (queue depth, batch-size mean, latency percentiles) keep s's
+// value. Load clients use it to attribute /metrics movement to one
+// measurement window.
+func (s Scrape) Sub(prev Scrape) Scrape {
+	s.RequestsTotal -= prev.RequestsTotal
+	s.RequestErrorsTotal -= prev.RequestErrorsTotal
+	s.RejectedTotal -= prev.RejectedTotal
+	s.PairsEnqueuedTotal -= prev.PairsEnqueuedTotal
+	s.PairsDoneTotal -= prev.PairsDoneTotal
+	s.BatchesTotal -= prev.BatchesTotal
+	s.CacheHitsTotal -= prev.CacheHitsTotal
+	s.CacheMissesTotal -= prev.CacheMissesTotal
+	s.ReadsMappedTotal -= prev.ReadsMappedTotal
+	s.ReadsUnmappedTotal -= prev.ReadsUnmappedTotal
+	return s
+}
+
 // addJobsMetrics folds the bulk lane's counters into a /metrics
 // snapshot as jobs_* fields (present only when the lane is enabled).
 func addJobsMetrics(snap map[string]any, st jobs.Stats) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -401,4 +402,53 @@ func (b *syncBuffer) String() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.buf.String()
+}
+
+// TestSnapshotScrapeRoundTrip pins the Snapshot↔Scrape schema
+// agreement: every typed Scrape field unmarshals from the /metrics JSON
+// snapshot under its tag and carries the same value Metrics.Scrape()
+// reports, so the wire schema and its typed consumers (internal/loadgen,
+// cmd/genasm-loadgen) cannot drift apart unnoticed.
+func TestSnapshotScrapeRoundTrip(t *testing.T) {
+	srv, ts := newTestServer(t, Config{CacheSize: -1})
+	alignOnce(t, ts, 95)
+
+	snap := srv.Metrics().Snapshot()
+	rt := reflect.TypeOf(Scrape{})
+	for i := 0; i < rt.NumField(); i++ {
+		tag := strings.Split(rt.Field(i).Tag.Get("json"), ",")[0]
+		if _, ok := snap[tag]; !ok {
+			t.Errorf("Scrape field %s has no %q key in Snapshot()", rt.Field(i).Name, tag)
+		}
+	}
+
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Scrape
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	want := srv.Metrics().Scrape()
+	if got != want {
+		t.Fatalf("snapshot round-trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if got.RequestsTotal == 0 || got.PairsDoneTotal == 0 {
+		t.Fatalf("counters did not move: %+v", got)
+	}
+}
+
+// TestScrapeSub: counters subtract, point-in-time fields keep the newer
+// value.
+func TestScrapeSub(t *testing.T) {
+	prev := Scrape{RequestsTotal: 10, PairsDoneTotal: 5, CacheHitsTotal: 2, QueueDepth: 7, LatencyMSP50: 3, BatchSizeMean: 4}
+	next := Scrape{RequestsTotal: 25, PairsDoneTotal: 11, CacheHitsTotal: 2, QueueDepth: 1, LatencyMSP50: 9, BatchSizeMean: 6}
+	d := next.Sub(prev)
+	if d.RequestsTotal != 15 || d.PairsDoneTotal != 6 || d.CacheHitsTotal != 0 {
+		t.Fatalf("counter deltas wrong: %+v", d)
+	}
+	if d.QueueDepth != 1 || d.LatencyMSP50 != 9 || d.BatchSizeMean != 6 {
+		t.Fatalf("point-in-time fields must keep the newer value: %+v", d)
+	}
 }

@@ -849,3 +849,384 @@ func TestQueryTooLongMapsToBadRequest(t *testing.T) {
 		t.Fatalf("body %q lost the detail", rec.Body.String())
 	}
 }
+
+// TestAdmissionEdgeCases pins the scheduler's admission-control corners
+// the load harness leans on: bounded-queue shedding answers 429 with
+// Retry-After while queued work is untouched, a graceful drain finishes
+// admitted work before new submissions see 503, and a single submission
+// larger than the whole queue is refused outright.
+func TestAdmissionEdgeCases(t *testing.T) {
+	t.Run("queue full sheds 429 with Retry-After", func(t *testing.T) {
+		srv, ts := newTestServer(t, Config{
+			Scheduler: SchedulerConfig{MaxBatch: 1 << 20, MaxDelay: 250 * time.Millisecond, MaxQueue: 2},
+			CacheSize: -1,
+		})
+		pairs := testPairs(t, 3, 81)
+		// Fill the queue: a 2-pair request sits pending for MaxDelay.
+		bgStatus := make(chan int, 1)
+		go func() {
+			status, _ := doJSON(t, ts.Client(), "POST", ts.URL+"/align", AlignRequest{Pairs: []AlignPair{
+				{Query: string(pairs[0].Query), Ref: string(pairs[0].Ref)},
+				{Query: string(pairs[1].Query), Ref: string(pairs[1].Ref)},
+			}})
+			bgStatus <- status
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for srv.Metrics().queueDepth.Load() < 2 {
+			if time.Now().After(deadline) {
+				t.Fatal("queue never filled")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		// 2 pending + 1 new > MaxQueue: must shed, and must say when to
+		// come back.
+		b, _ := json.Marshal(AlignRequest{Pairs: []AlignPair{
+			{Query: string(pairs[2].Query), Ref: string(pairs[2].Ref)}}})
+		resp, err := ts.Client().Post(ts.URL+"/align", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status %d, want 429", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("429 without Retry-After")
+		}
+		if got := <-bgStatus; got != http.StatusOK {
+			t.Fatalf("queued request finished %d, want 200 (shedding must not evict admitted work)", got)
+		}
+	})
+
+	t.Run("graceful drain finishes admitted work then 503s", func(t *testing.T) {
+		srv, ts := newTestServer(t, Config{
+			Scheduler: SchedulerConfig{MaxBatch: 1 << 20, MaxDelay: 250 * time.Millisecond},
+			CacheSize: -1,
+		})
+		pairs := testPairs(t, 2, 82)
+		bgStatus := make(chan int, 1)
+		go func() {
+			status, _ := doJSON(t, ts.Client(), "POST", ts.URL+"/align", AlignRequest{Pairs: []AlignPair{
+				{Query: string(pairs[0].Query), Ref: string(pairs[0].Ref)}}})
+			bgStatus <- status
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for srv.Metrics().queueDepth.Load() < 1 {
+			if time.Now().After(deadline) {
+				t.Fatal("queue never filled")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		// Close drains: the pending pair must complete with 200, well
+		// before its 250ms flush deadline would have fired.
+		srv.sched.Close()
+		if got := <-bgStatus; got != http.StatusOK {
+			t.Fatalf("drained request finished %d, want 200", got)
+		}
+		status, _ := doJSON(t, ts.Client(), "POST", ts.URL+"/align", AlignRequest{Pairs: []AlignPair{
+			{Query: string(pairs[1].Query), Ref: string(pairs[1].Ref)}}})
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("post-drain status %d, want 503", status)
+		}
+	})
+
+	t.Run("submission larger than the queue splits and completes", func(t *testing.T) {
+		srv, ts := newTestServer(t, Config{
+			Scheduler: SchedulerConfig{MaxQueue: 4, MaxDelay: time.Millisecond},
+			CacheSize: -1,
+		})
+		pairs := testPairs(t, 8, 83)
+		req := AlignRequest{}
+		for _, p := range pairs {
+			req.Pairs = append(req.Pairs, AlignPair{Query: string(p.Query), Ref: string(p.Ref)})
+		}
+		// 8 pairs can never be admitted whole into a 4-slot queue: the
+		// scheduler must split them into sub-queue chunks, not reject.
+		status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/align", req)
+		if status != http.StatusOK {
+			t.Fatalf("status %d (%s), want 200 via split submission", status, body)
+		}
+		var resp AlignResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Results) != len(pairs) {
+			t.Fatalf("%d results, want %d", len(resp.Results), len(pairs))
+		}
+		if batches := srv.Metrics().batches.Load(); batches < 2 {
+			t.Fatalf("oversized submission ran as %d batches, want >= 2 (split)", batches)
+		}
+	})
+}
+
+// TestStreamTrailerEdgeCases pins the two halves of the streaming error
+// contract deterministically: before the first body byte a failure is a
+// real HTTP status and no trailer is announced; after bytes have flowed
+// the response is a committed 200 and the error travels only in the
+// X-Genasm-Status trailer.
+func TestStreamTrailerEdgeCases(t *testing.T) {
+	// mappable yields n reads the mapper will find.
+	mappable := func(ref []byte, n int) []ReadIn {
+		reads := make([]ReadIn, n)
+		for i := range reads {
+			off := 1000 + i*400
+			reads[i] = ReadIn{Name: fmt.Sprintf("m%d", i), Seq: string(ref[off : off+300])}
+		}
+		return reads
+	}
+
+	t.Run("error before first byte: real status, no trailer", func(t *testing.T) {
+		srv, ts := newTestServer(t, Config{
+			Scheduler: SchedulerConfig{MaxDelay: time.Millisecond},
+			CacheSize: -1,
+		})
+		ref := genasm.GenerateGenome(40_000, 3)
+		if status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/refs",
+			RefAddRequest{Name: "g", Sequence: string(ref)}); status != http.StatusCreated {
+			t.Fatalf("upload status %d: %s", status, body)
+		}
+		srv.sched.Close() // first chunk's submission now fails up front
+		req := MapAlignRequest{Ref: "g", Reads: mappable(ref, 8)}
+		status, body, trailer, ctype := streamMapAlignBody(t, ts, ts.URL+"/map-align?format=sam", req)
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("status %d (%s), want 503", status, body)
+		}
+		if !strings.HasPrefix(ctype, "application/json") {
+			t.Fatalf("error content type %q, want JSON error body", ctype)
+		}
+		if got := trailer.Get(TrailerStatus); got != "" {
+			t.Fatalf("early error still set trailer %q", got)
+		}
+	})
+
+	t.Run("error mid-stream: committed 200, error trailer", func(t *testing.T) {
+		// MaxDelay is generous so chunk one's single mappable pair sits
+		// pending until the test drains the scheduler — a deterministic
+		// window, no sleep-based racing: the test observes the pair in
+		// the queue (depth > 0), closes the scheduler, chunk one then
+		// completes via the drain and flushes its records (committing the
+		// 200), and chunk two's submission fails against the now-closed
+		// scheduler with the error in the trailer.
+		srv, ts := newTestServer(t, Config{
+			Scheduler: SchedulerConfig{MaxBatch: 1 << 20, MaxDelay: 30 * time.Second},
+			CacheSize: -1,
+		})
+		ref := genasm.GenerateGenome(40_000, 3)
+		foreign := genasm.GenerateGenome(80_000, 99) // its reads map nowhere
+		if status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/refs",
+			RefAddRequest{Name: "g", Sequence: string(ref)}); status != http.StatusCreated {
+			t.Fatalf("upload status %d: %s", status, body)
+		}
+		req := MapAlignRequest{Ref: "g"}
+		// Chunk one: 31 unmapped reads plus one mappable — the unmapped
+		// FLAG-4 records guarantee body bytes, the mappable pair parks
+		// the chunk in the scheduler.
+		for i := 0; i < streamChunk-1; i++ {
+			seq := foreign[i*500 : i*500+300]
+			req.Reads = append(req.Reads, ReadIn{Name: fmt.Sprintf("alien%d", i), Seq: string(seq)})
+		}
+		req.Reads = append(req.Reads, mappable(ref, 1)...)
+		// Chunk two: mappable reads that will meet a closed scheduler.
+		req.Reads = append(req.Reads, mappable(ref, 4)...)
+
+		type streamOut struct {
+			status  int
+			body    string
+			trailer http.Header
+		}
+		outc := make(chan streamOut, 1)
+		go func() {
+			status, body, trailer, _ := streamMapAlignBody(t, ts, ts.URL+"/map-align?format=sam", req)
+			outc <- streamOut{status, body, trailer}
+		}()
+		deadline := time.Now().Add(10 * time.Second)
+		for srv.Metrics().queueDepth.Load() == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("chunk one never reached the scheduler")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		srv.sched.Close()
+		out := <-outc
+		if out.status != http.StatusOK {
+			t.Fatalf("status %d, want committed 200", out.status)
+		}
+		if !strings.HasPrefix(out.body, "@HD") || !strings.Contains(out.body, "alien0") {
+			t.Fatalf("first chunk's records missing from body:\n%.300s", out.body)
+		}
+		got := out.trailer.Get(TrailerStatus)
+		if !strings.HasPrefix(got, "error:") {
+			t.Fatalf("trailer %q, want error", got)
+		}
+	})
+}
+
+// TestStreamClientDisconnectMidStream: a client that walks away in the
+// middle of a SAM stream must not wedge or poison the server — the
+// handler notices the dead connection and later requests are served
+// normally.
+func TestStreamClientDisconnectMidStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Scheduler: SchedulerConfig{MaxDelay: time.Millisecond},
+		CacheSize: -1,
+	})
+	ref := genasm.GenerateGenome(80_000, 3)
+	if status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/refs",
+		RefAddRequest{Name: "g", Sequence: string(ref)}); status != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", status, body)
+	}
+	req := MapAlignRequest{Ref: "g"}
+	for i := 0; i < 160; i++ {
+		off := (i * 450) % 70_000
+		req.Reads = append(req.Reads, ReadIn{Name: fmt.Sprintf("r%d", i), Seq: string(ref[off : off+300])})
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	hreq, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/map-align?format=sam", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := ts.Client().Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one chunk's worth of records, then vanish mid-body.
+	if _, err := io.ReadAtLeast(resp.Body, make([]byte, 512), 512); err != nil {
+		t.Fatalf("first chunk never arrived: %v", err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The server must still answer: the full stream and a plain align.
+	status, body, trailer, _ := streamMapAlignBody(t, ts, ts.URL+"/map-align?format=sam", req)
+	if status != http.StatusOK {
+		t.Fatalf("post-disconnect stream status %d (%s)", status, body)
+	}
+	if got := trailer.Get(TrailerStatus); !strings.HasPrefix(got, "ok") {
+		t.Fatalf("post-disconnect trailer %q, want ok", got)
+	}
+	pairs := testPairs(t, 1, 84)
+	if status, _ := doJSON(t, ts.Client(), "POST", ts.URL+"/align", AlignRequest{Pairs: []AlignPair{
+		{Query: string(pairs[0].Query), Ref: string(pairs[0].Ref)}}}); status != http.StatusOK {
+		t.Fatalf("post-disconnect align status %d", status)
+	}
+}
+
+// TestRefChurnUnderMapAlign hammers the registry lifecycle the churn
+// scenario models: one goroutine uploads and deletes a reference in a
+// loop while others run /map-align against it and against a stable
+// reference. A churned lookup may race to 200 or 404, but it must never
+// 500 and every 200 must carry the same (complete, untorn) body.
+func TestRefChurnUnderMapAlign(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Scheduler: SchedulerConfig{MaxDelay: time.Millisecond},
+		CacheSize: -1, // identical 200s must be bit-identical bodies
+	})
+	stable := genasm.GenerateGenome(40_000, 3)
+	churn := genasm.GenerateGenome(12_000, 5)
+	if status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/refs",
+		RefAddRequest{Name: "stable", Sequence: string(stable)}); status != http.StatusCreated {
+		t.Fatalf("upload status %d: %s", status, body)
+	}
+	churnAdd := RefAddRequest{Name: "churn", Sequence: string(churn)}
+	churnReq := MapAlignRequest{Ref: "churn", Reads: []ReadIn{
+		{Name: "c0", Seq: string(churn[500:800])},
+		{Name: "c1", Seq: string(churn[4_000:4_300])},
+	}}
+	stableReq := MapAlignRequest{Ref: "stable", Reads: []ReadIn{
+		{Name: "s0", Seq: string(stable[1_000:1_300])},
+	}}
+
+	const cycles = 40
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	errc := make(chan error, 8)
+	report := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	}
+
+	wg.Add(1)
+	go func() { // the churner
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < cycles; i++ {
+			if status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/refs", churnAdd); status != http.StatusCreated && status != http.StatusConflict {
+				report(fmt.Errorf("churn add: status %d: %s", status, body))
+				return
+			}
+			if status, body := doJSON(t, ts.Client(), "DELETE", ts.URL+"/refs/churn", nil); status != http.StatusNoContent && status != http.StatusNotFound {
+				report(fmt.Errorf("churn delete: status %d: %s", status, body))
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() { // map-align against the churning name
+			defer wg.Done()
+			var want []byte
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/map-align", churnReq)
+				switch status {
+				case http.StatusOK:
+					if want == nil {
+						want = body
+					} else if !bytes.Equal(want, body) {
+						report(fmt.Errorf("churned ref served a diverging body:\n%.200s\nvs\n%.200s", want, body))
+						return
+					}
+				case http.StatusNotFound:
+					// deleted out from under us: fine
+				default:
+					report(fmt.Errorf("churned map-align: status %d: %s", status, body))
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() { // the stable reference must be untouched by churn
+		defer wg.Done()
+		var want []byte
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			status, body := doJSON(t, ts.Client(), "POST", ts.URL+"/map-align", stableReq)
+			if status != http.StatusOK {
+				report(fmt.Errorf("stable map-align: status %d: %s", status, body))
+				return
+			}
+			if want == nil {
+				want = body
+			} else if !bytes.Equal(want, body) {
+				report(fmt.Errorf("stable ref body diverged under churn"))
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}
