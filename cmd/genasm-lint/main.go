@@ -1,6 +1,7 @@
 // Command genasm-lint runs the project's static-analysis suite
-// (internal/lint) over the module: hotalloc, ctxflow, errcmp and
-// locksafe. It prints one file:line:col diagnostic per unsuppressed
+// (internal/lint) over the module: hotalloc, ctxflow, errcmp,
+// locksafe, metricname and httpclient.
+// It prints one file:line:col diagnostic per unsuppressed
 // finding and exits 1 if there are any, 2 on load/type-check failure.
 //
 // Usage:

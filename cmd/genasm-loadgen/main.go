@@ -41,7 +41,8 @@ var errSLOViolated = errors.New("SLO violated")
 // options collects every flag so the whole CLI path is testable.
 type options struct {
 	url       string
-	scenarios string // comma-separated names or "all"
+	targets   []string // -target: multi-node mode; overrides -url
+	scenarios string   // comma-separated names or "all"
 	seed      int64
 	warmup    time.Duration
 	duration  time.Duration
@@ -111,10 +112,15 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	}
 
 	var results []*loadgen.Result
+	var perTarget []*loadgen.Result
+	var cluster []loadgen.ClusterRow
+	target := o.url
+	if len(o.targets) > 0 {
+		target = strings.Join(o.targets, ",")
+	}
 	for _, name := range names {
-		fmt.Fprintf(out, "=== %s: warmup %s, measure %s against %s\n", name, o.warmup, o.duration, o.url)
-		res, err := loadgen.Run(ctx, loadgen.Config{
-			BaseURL:     o.url,
+		fmt.Fprintf(out, "=== %s: warmup %s, measure %s against %s\n", name, o.warmup, o.duration, target)
+		cfg := loadgen.Config{
 			Scenario:    name,
 			Seed:        o.seed,
 			Warmup:      o.warmup,
@@ -123,7 +129,25 @@ func run(ctx context.Context, o options, out io.Writer) error {
 			Concurrency: o.conc,
 			GenomeLen:   o.genomeLen,
 			RefName:     o.refName,
-		})
+		}
+		if len(o.targets) > 0 {
+			// Multi-node mode: the same scenario offered to every target
+			// concurrently; SLOs gate the cluster-wide aggregate.
+			per, agg, err := loadgen.RunTargets(ctx, cfg, o.targets)
+			if err != nil {
+				return fmt.Errorf("scenario %s: %w", name, err)
+			}
+			for _, res := range per {
+				printResult(out, res)
+			}
+			printResult(out, agg)
+			perTarget = append(perTarget, per...)
+			results = append(results, agg)
+			cluster = append(cluster, loadgen.Row(per, agg))
+			continue
+		}
+		cfg.BaseURL = o.url
+		res, err := loadgen.Run(ctx, cfg)
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", name, err)
 		}
@@ -132,7 +156,7 @@ func run(ctx context.Context, o options, out io.Writer) error {
 	}
 
 	if o.outPath != "" {
-		rep := loadgen.Report{Target: o.url, Seed: o.seed, Scenarios: results}
+		rep := loadgen.Report{Target: target, Seed: o.seed, Scenarios: results, PerTarget: perTarget, Cluster: cluster}
 		if err := loadgen.WriteBench(o.outPath, rep); err != nil {
 			return err
 		}
@@ -153,8 +177,12 @@ func run(ctx context.Context, o options, out io.Writer) error {
 }
 
 func printResult(out io.Writer, r *loadgen.Result) {
+	name := r.Scenario
+	if r.Target != "" {
+		name += "@" + r.Target
+	}
 	fmt.Fprintf(out, "%-9s rps %7.1f/%7.1f  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms  req %6d  err %4d  429 %4d  shed %4d\n",
-		r.Scenario, r.AchievedRPS, r.OfferedRPS, r.P50ms, r.P95ms, r.P99ms,
+		name, r.AchievedRPS, r.OfferedRPS, r.P50ms, r.P95ms, r.P99ms,
 		r.Requests, r.Errors, r.Status429, r.Dropped)
 	if r.CacheChecked > 0 {
 		fmt.Fprintf(out, "          cache-hit identity: %d checked, %d mismatched\n", r.CacheChecked, r.CacheMismatches)
@@ -171,6 +199,16 @@ func printResult(out io.Writer, r *loadgen.Result) {
 func main() {
 	o := defaultOptions()
 	flag.StringVar(&o.url, "url", o.url, "base URL of the genasm-serve instance under test")
+	flag.Func("target", "multi-node mode: run each scenario against these base URLs concurrently and report per-target plus aggregate results (repeatable or comma-separated; overrides -url)", func(v string) error {
+		for _, part := range strings.Split(v, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			o.targets = append(o.targets, part)
+		}
+		return nil
+	})
 	flag.StringVar(&o.scenarios, "scenarios", o.scenarios,
 		"comma-separated scenario names, or all ("+strings.Join(loadgen.Scenarios(), ", ")+")")
 	flag.Int64Var(&o.seed, "seed", o.seed, "workload seed; the same seed offers the identical request sequence")

@@ -8,12 +8,23 @@
 // scheduler in the background, and serves the finished SAM/PAF/JSON for
 // download; cmd/genasm-submit is the matching client.
 //
+// With -upstream set, the process instead becomes a stateless routing
+// front over a cluster of genasm-serve nodes: /align and /map-align are
+// forwarded to an upstream chosen by consistent hashing on the request's
+// reference (with health-checked failover), /refs broadcasts to every
+// node, and no local engine runs. See docs/OPERATIONS.md "Running a
+// cluster".
+//
 // Example:
 //
 //	genasm-serve -addr :8080 -backend cpu -ref chr1=chr1.fa -jobs-dir /var/genasm/jobs
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/align \
 //	    -d '{"pairs":[{"query":"ACGTACGT","ref":"ACGTTACGT"}]}'
+//
+// Cluster front:
+//
+//	genasm-serve -addr :8080 -upstream node1:8081,node2:8081,node3:8081
 //
 // See docs/OPERATIONS.md for deployment guidance and docs/API.md for
 // the full HTTP reference.
@@ -40,6 +51,10 @@ import (
 	"genasm/internal/obs"
 	"genasm/server"
 	"genasm/server/jobs"
+
+	// Register the remote(host:port) backend so a node can itself shard
+	// work across other nodes (e.g. -backend "multi(cpu,remote(b:8081))").
+	_ "genasm/internal/remotebk"
 )
 
 // options collects every flag so the whole serve path is testable.
@@ -63,6 +78,9 @@ type options struct {
 	traceBuffer int
 	debugAddr   string // empty = no debug/pprof listener
 
+	upstreams      []string      // non-empty = front-tier proxy mode
+	healthInterval time.Duration // upstream /healthz probe period
+
 	log        *slog.Logger      // built by run from logFormat/logLevel
 	debugReady func(addr string) // test hook: reports the bound debug addr
 }
@@ -82,6 +100,8 @@ func defaultOptions() options {
 		logFormat:   "text",
 		logLevel:    "info",
 		slowRequest: time.Second,
+
+		healthInterval: time.Second,
 	}
 }
 
@@ -112,7 +132,27 @@ func (o options) engineOptions() []genasm.Option {
 }
 
 // buildServer assembles the server and preloads the -ref references.
+// With -upstream set it builds the front-tier variant instead: no local
+// engine, so engine- and jobs-related flags are rejected rather than
+// silently ignored.
 func buildServer(o options) (*server.Server, error) {
+	if len(o.upstreams) > 0 {
+		if o.jobsDir != "" {
+			return nil, errors.New("-upstream and -jobs-dir are mutually exclusive: the bulk job lane needs a local engine; run it on the upstream nodes")
+		}
+		if len(o.refs) > 0 {
+			return nil, errors.New("-upstream and -ref are mutually exclusive: upload references through the front (POST /refs broadcasts to every upstream)")
+		}
+		return server.New(server.Config{
+			Proxy: server.ProxyConfig{
+				Upstreams:      o.upstreams,
+				HealthInterval: o.healthInterval,
+			},
+			Logger:      o.log,
+			SlowRequest: o.slowRequest,
+			TraceBuffer: o.traceBuffer,
+		})
+	}
 	srv, err := server.New(server.Config{
 		EngineOptions: o.engineOptions(),
 		Scheduler: server.SchedulerConfig{
@@ -194,13 +234,22 @@ func run(ctx context.Context, o options, logw io.Writer, ready func(addr string)
 		jobsLane = o.jobsDir
 	}
 	build := obs.ReadBuildInfo()
-	log.Info("listening",
-		"addr", ln.Addr().String(),
-		"backend", srv.Engine().BackendName(),
-		"refs", srv.Registry().Len(),
-		"jobs", jobsLane,
-		"version", build.Version(),
-		"go", build.GoVersion)
+	if p := srv.Proxy(); p != nil {
+		log.Info("listening",
+			"addr", ln.Addr().String(),
+			"mode", "front",
+			"upstreams", strings.Join(p.Upstreams(), ","),
+			"version", build.Version(),
+			"go", build.GoVersion)
+	} else {
+		log.Info("listening",
+			"addr", ln.Addr().String(),
+			"backend", srv.Engine().BackendName(),
+			"refs", srv.Registry().Len(),
+			"jobs", jobsLane,
+			"version", build.Version(),
+			"go", build.GoVersion)
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -277,6 +326,17 @@ func main() {
 	flag.DurationVar(&o.slowRequest, "slow-request", o.slowRequest, "log a warning with the full span tree for requests slower than this (0 disables)")
 	flag.IntVar(&o.traceBuffer, "trace-buffer", 0, "recent request traces retained for GET /debug/traces (0 = default 128)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "optional second listener exposing net/http/pprof, /debug/traces, /metrics and /healthz (empty = disabled)")
+	flag.Func("upstream", "front-tier mode: route /align and /map-align to these genasm-serve nodes (host:port, repeatable or comma-separated) by consistent hashing instead of executing locally", func(v string) error {
+		for _, part := range strings.Split(v, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			o.upstreams = append(o.upstreams, part)
+		}
+		return nil
+	})
+	flag.DurationVar(&o.healthInterval, "health-interval", o.healthInterval, "front-tier mode: upstream /healthz probe period (eject after 2 consecutive failures, readmit on the first success)")
 	flag.Func("ref", "preload a reference: name=path.fa (repeatable)", func(v string) error {
 		rs, err := parseRefFlag(v)
 		if err != nil {

@@ -1,6 +1,6 @@
 // Package lint is genasm's project-specific static-analysis framework:
 // a small, stdlib-only analyzer harness (go/parser + go/ast + go/types,
-// stdlib type information via the source importer) plus the five
+// stdlib type information via the source importer) plus the six
 // analyzers that machine-check the invariants this repository's
 // correctness and performance work depends on:
 //
@@ -14,6 +14,9 @@
 //     channel sends while a sync.Mutex/RWMutex is held.
 //   - metricname: metric names registered through internal/obs follow
 //     the exposition conventions (snake_case, counters end in _total).
+//   - httpclient: library code builds bounded, context-aware HTTP
+//     clients — no zero-Timeout http.Client, no http.Get/DefaultClient
+//     helpers, no http.NewRequest without a context.
 //
 // Findings carry file:line positions. A finding that is intentional is
 // suppressed in place with a written justification:
@@ -210,5 +213,6 @@ func Default(hotPkgs []string) []*Analyzer {
 		ErrCmp(),
 		LockSafe(),
 		MetricName(),
+		HTTPClient(),
 	}
 }

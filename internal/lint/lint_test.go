@@ -135,6 +135,12 @@ func TestMetricNameGolden(t *testing.T) {
 	checkGolden(t, pkg, []*lint.Analyzer{lint.MetricName()})
 }
 
+func TestHTTPClientGolden(t *testing.T) {
+	loader := newLoader(t)
+	pkg := loadFixture(t, loader, "httpclient")
+	checkGolden(t, pkg, []*lint.Analyzer{lint.HTTPClient()})
+}
+
 // TestDirectiveHygiene: a suppression without a reason, or naming an
 // unknown analyzer, is itself a finding and suppresses nothing — so
 // directives cannot rot. Only the well-formed reasoned directive in the

@@ -1,0 +1,53 @@
+// Package httpclient is the golden fixture for the httpclient analyzer.
+package httpclient
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func bareClient() *http.Client {
+	return &http.Client{} // want `http.Client without an explicit Timeout`
+}
+
+func transportOnly() *http.Client {
+	return &http.Client{ // want `http.Client without an explicit Timeout`
+		Transport: http.DefaultTransport,
+	}
+}
+
+func boundedClient() *http.Client {
+	return &http.Client{Timeout: 30 * time.Second} // no finding: Timeout set
+}
+
+func zeroButStated() *http.Client {
+	// Explicitly stating Timeout: 0 is a visible decision, not an
+	// accident; the analyzer only demands the key be present.
+	return &http.Client{Timeout: 0} // no finding
+}
+
+func suppressedStreaming() *http.Client {
+	//lint:allow httpclient streamed responses have no bounded duration; the transport caps connect and header latency
+	return &http.Client{Transport: http.DefaultTransport}
+}
+
+func defaultClientHelpers() {
+	http.Get("http://example.test/")                       // want `http.Get uses http.DefaultClient`
+	http.Head("http://example.test/")                      // want `http.Head uses http.DefaultClient`
+	http.Post("http://example.test/", "text/plain", nil)   // want `http.Post uses http.DefaultClient`
+	http.PostForm("http://example.test/", nil)             // want `http.PostForm uses http.DefaultClient`
+	http.NewRequest(http.MethodGet, "http://e.test/", nil) // want `http.NewRequest detaches the request from the caller's context`
+}
+
+func contextualRequest(ctx context.Context, c *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://e.test/", nil) // no finding
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}

@@ -73,6 +73,9 @@ func (c *Config) fillDefaults() {
 type Result struct {
 	Scenario string `json:"scenario"`
 	Seed     int64  `json:"seed"`
+	// Target is the base URL this result measured (multi-target runs;
+	// "aggregate" for the cross-target sum, empty for single-target runs).
+	Target string `json:"target,omitempty"`
 	// OfferedRPS is the configured open-loop rate; AchievedRPS is what
 	// the measure phase actually completed per second.
 	OfferedRPS  float64 `json:"offered_rps"`

@@ -133,6 +133,12 @@ type Report struct {
 	Target    string    `json:"target"`
 	Seed      int64     `json:"seed"`
 	Scenarios []*Result `json:"scenarios"`
+	// PerTarget holds the per-node results of a multi-target run
+	// (RunTargets); Scenarios then carries the aggregates.
+	PerTarget []*Result `json:"per_target,omitempty"`
+	// Cluster is the node-count scaling table: the same scenario offered
+	// to growing upstream sets.
+	Cluster []ClusterRow `json:"cluster,omitempty"`
 }
 
 // WriteBench writes (or merges into) a BENCH_*.json report at path:

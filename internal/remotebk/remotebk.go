@@ -1,0 +1,368 @@
+// Package remotebk implements the "remote" execution backend: a
+// genasm.Backend that executes AlignBatch on another genasm-serve node
+// over the server's public HTTP API (AlignBatch → POST /align,
+// Capabilities ← GET /backends). It registers itself in the backend
+// registry under the parameterized spec
+//
+//	remote(host:port)          // http:// is assumed
+//	remote(http://host:port)   // explicit scheme also accepted
+//
+// so an engine — and therefore a whole serving node — can be pointed at
+// other nodes with nothing but a backend name:
+//
+//	genasm-serve -backend 'multi(cpu,remote(10.0.0.2:8080))'
+//
+// The multi composite shards batches across children by capability
+// weight and attributes failures per shard, so remote children get
+// capacity-proportional work and isolated blame for free.
+//
+// Semantics:
+//
+//   - Transport failures (connection refused, reset, timeout) are
+//     retried with jittered exponential backoff up to a small bounded
+//     attempt budget, then wrapped in ErrUnreachable. A response is
+//     never retried: the server answered, and replaying a batch that
+//     may have partially executed is the remote-caller's decision, not
+//     the transport's.
+//   - Non-2xx responses map to typed errors: the remote node's
+//     over-length-query 400 wraps genasm.ErrQueryTooLong (so the local
+//     HTTP layer still answers 4xx, not 500), everything else wraps a
+//     *StatusError carrying the upstream code and message.
+//   - The trace ID carried by ctx is forwarded as X-Request-Id, so one
+//     user request stitches into a single cross-node trace.
+//   - Capabilities are fetched from GET /backends and cached with a
+//     short TTL; while the remote node is unreachable the last known
+//     (or a conservative default) envelope is served, so constructing
+//     multi(cpu,remote(a)) never fails just because a is down.
+package remotebk
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"genasm"
+	"genasm/internal/obs"
+	"genasm/server"
+)
+
+func init() {
+	genasm.Register("remote", func(spec string, cfg genasm.Config, opts genasm.BackendOptions) (genasm.Backend, error) {
+		return New(spec)
+	})
+}
+
+// ErrUnreachable is the sentinel wrapped by every transport-level
+// failure that survives the retry budget: the remote node never
+// answered. multi's per-shard error attribution surfaces it with the
+// failing child's spec attached; errors.Is(err, ErrUnreachable) is the
+// programmatic check.
+var ErrUnreachable = errors.New("remotebk: remote node unreachable")
+
+// StatusError is a non-2xx HTTP answer from the remote node — the
+// server executed (or rejected) the request and said why. It is never
+// retried here.
+type StatusError struct {
+	// Code is the upstream HTTP status.
+	Code int
+	// Message is the upstream error body (the server's {"error": ...}).
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("remotebk: remote node answered %d: %s", e.Code, e.Message)
+}
+
+// Tuning defaults. Tests shorten them through the fields on Backend.
+const (
+	defaultCapTTL      = 5 * time.Second
+	defaultAttempts    = 3
+	defaultBackoff     = 25 * time.Millisecond
+	defaultHTTPTimeout = 60 * time.Second
+)
+
+// defaultCapabilities is the envelope served while the remote node has
+// never been reachable: no structural query limit (the remote node
+// enforces its own and answers 400), a modest batch appetite, weight 1
+// in a multi composite.
+var defaultCapabilities = genasm.Capabilities{PreferredBatch: 64, Parallelism: 1}
+
+// Backend is the remote execution backend. Construct with New (or via
+// the registry spec "remote(host:port)"); safe for concurrent use.
+type Backend struct {
+	spec string // full registry spec, e.g. "remote(10.0.0.2:8080)"
+	base string // normalized base URL, e.g. "http://10.0.0.2:8080"
+
+	// Client performs every HTTP call. Replaceable before first use
+	// (tests inject short timeouts); defaults to a dedicated client
+	// with defaultHTTPTimeout.
+	Client *http.Client
+	// Attempts is the AlignBatch transport budget: total tries, not
+	// retries (default 3).
+	Attempts int
+	// Backoff is the base delay before the second attempt; it doubles
+	// per attempt with ±50% jitter (default 25ms).
+	Backoff time.Duration
+	// CapTTL is how long a fetched Capabilities envelope is served
+	// before re-asking the remote node (default 5s). Fetch failures are
+	// also cached for one TTL so a dead node is not hammered.
+	CapTTL time.Duration
+
+	batches atomic.Uint64
+	pairs   atomic.Uint64
+	errs    atomic.Uint64
+
+	capMu   sync.Mutex
+	caps    genasm.Capabilities
+	capsOK  bool // caps came from the remote node at least once
+	capsAt  time.Time
+	capsErr string // last fetch failure, surfaced in Stats
+}
+
+// New builds a remote backend from its registry spec. Validation is
+// eager and purely configurational (the address must parse); the first
+// network contact happens lazily, so a constructed Backend — and a
+// multi(...) composite containing it — exists even while the remote
+// node is down.
+func New(spec string) (*Backend, error) {
+	addr, err := parseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{
+		spec:     spec,
+		base:     addr,
+		Client:   &http.Client{Timeout: defaultHTTPTimeout},
+		Attempts: defaultAttempts,
+		Backoff:  defaultBackoff,
+		CapTTL:   defaultCapTTL,
+	}, nil
+}
+
+// parseSpec extracts and normalizes the address of a "remote(addr)"
+// spec into a base URL.
+func parseSpec(spec string) (string, error) {
+	if !strings.HasPrefix(spec, "remote(") || !strings.HasSuffix(spec, ")") {
+		return "", fmt.Errorf("remotebk: backend spec %q: want remote(host:port)", spec)
+	}
+	addr := strings.TrimSpace(spec[len("remote(") : len(spec)-1])
+	if addr == "" {
+		return "", fmt.Errorf("remotebk: backend spec %q names no address", spec)
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	u, err := url.Parse(addr)
+	if err != nil {
+		return "", fmt.Errorf("remotebk: backend spec %q: %w", spec, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("remotebk: backend spec %q: unsupported scheme %q", spec, u.Scheme)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("remotebk: backend spec %q names no host", spec)
+	}
+	return strings.TrimSuffix(u.String(), "/"), nil
+}
+
+// AlignBatch forwards the batch as one POST /align to the remote node
+// and reconstructs index-aligned genasm.Results from the JSON reply.
+func (b *Backend) AlignBatch(ctx context.Context, cfg genasm.Config, pairs []genasm.Pair) ([]genasm.Result, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	req := server.AlignRequest{Pairs: make([]server.AlignPair, len(pairs))}
+	for i, p := range pairs {
+		req.Pairs[i] = server.AlignPair{Query: string(p.Query), Ref: string(p.Ref)}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("remotebk: encoding batch: %w", err)
+	}
+	sp := obs.StartSpan(ctx, "remote",
+		obs.String("upstream", b.base), obs.Int("pairs", len(pairs)))
+	defer sp.End()
+
+	var lastErr error
+	for attempt := 0; attempt < b.Attempts; attempt++ {
+		if attempt > 0 {
+			if err := b.sleepBackoff(ctx, attempt); err != nil {
+				return nil, err
+			}
+		}
+		results, retryable, err := b.post(ctx, body, len(pairs))
+		if err == nil {
+			b.batches.Add(1)
+			b.pairs.Add(uint64(len(pairs)))
+			return results, nil
+		}
+		b.errs.Add(1)
+		if !retryable || ctx.Err() != nil {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: %s after %d attempts: %w", ErrUnreachable, b.base, b.Attempts, lastErr)
+}
+
+// post performs one POST /align attempt. retryable is true only for
+// transport-level failures — once the server has answered, the attempt
+// is final.
+func (b *Backend) post(ctx context.Context, body []byte, n int) (results []genasm.Result, retryable bool, err error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/align", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, fmt.Errorf("remotebk: building request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	obs.SetRequestID(ctx, hreq.Header)
+	resp, err := b.Client.Do(hreq)
+	if err != nil {
+		return nil, true, fmt.Errorf("remotebk: POST %s/align: %w", b.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, statusError(resp)
+	}
+	var rep server.AlignResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, false, fmt.Errorf("remotebk: decoding %s/align response: %w", b.base, err)
+	}
+	if len(rep.Results) != n {
+		return nil, false, fmt.Errorf("remotebk: %s answered %d results for %d pairs", b.base, len(rep.Results), n)
+	}
+	results = make([]genasm.Result, n)
+	for i, r := range rep.Results {
+		results[i] = genasm.Result{
+			Distance: r.Distance, Score: r.Score,
+			Cigar: r.Cigar, RefConsumed: r.RefConsumed,
+		}
+	}
+	return results, false, nil
+}
+
+// statusError turns a non-200 response into its typed error: the remote
+// node's over-length-query rejection re-wraps the genasm.ErrQueryTooLong
+// sentinel (so a local HTTP layer still answers 4xx), everything else
+// becomes a *StatusError.
+func statusError(resp *http.Response) error {
+	msg := readErrorBody(resp.Body)
+	if resp.StatusCode == http.StatusBadRequest &&
+		(strings.Contains(msg, "query too long") || strings.Contains(msg, "exceeds limit")) {
+		return fmt.Errorf("%w (remote %s)", genasm.ErrQueryTooLong, msg)
+	}
+	return &StatusError{Code: resp.StatusCode, Message: msg}
+}
+
+// readErrorBody extracts the server's {"error": ...} message (bounded;
+// raw text fallback for non-JSON bodies).
+func readErrorBody(r io.Reader) string {
+	data, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// sleepBackoff waits the jittered exponential delay before attempt
+// (1-based beyond the first), honoring ctx cancellation.
+func (b *Backend) sleepBackoff(ctx context.Context, attempt int) error {
+	d := b.Backoff << (attempt - 1)
+	// ±50% jitter decorrelates retry storms across concurrent shards.
+	d = d/2 + time.Duration(rand.Int64N(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Capabilities reports the remote node's execution envelope, fetched
+// from GET /backends and cached for CapTTL. While the node has never
+// answered, a conservative default (weight 1, no structural query
+// limit) is served so composite construction and scheduling proceed.
+func (b *Backend) Capabilities() genasm.Capabilities {
+	b.capMu.Lock()
+	defer b.capMu.Unlock()
+	if !b.capsAt.IsZero() && time.Since(b.capsAt) < b.CapTTL {
+		return b.currentCapsLocked()
+	}
+	b.capsAt = time.Now() // stamp first: failures are cached for one TTL too
+	caps, err := b.fetchCapabilities()
+	if err != nil {
+		b.capsErr = err.Error()
+		return b.currentCapsLocked()
+	}
+	b.caps, b.capsOK, b.capsErr = caps, true, ""
+	return b.caps
+}
+
+func (b *Backend) currentCapsLocked() genasm.Capabilities {
+	if b.capsOK {
+		return b.caps
+	}
+	return defaultCapabilities
+}
+
+// fetchCapabilities asks GET /backends for the remote engine's active
+// envelope. The Backend interface carries no context here, so the probe
+// runs under its own short deadline.
+func (b *Backend) fetchCapabilities() (genasm.Capabilities, error) {
+	//lint:allow ctxflow Capabilities() has no ctx parameter in the Backend interface; the probe bounds itself with its own timeout
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/backends", nil)
+	if err != nil {
+		return genasm.Capabilities{}, err
+	}
+	resp, err := b.Client.Do(req)
+	if err != nil {
+		return genasm.Capabilities{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return genasm.Capabilities{}, fmt.Errorf("GET /backends: status %d", resp.StatusCode)
+	}
+	var rep struct {
+		Active struct {
+			Capabilities genasm.Capabilities `json:"capabilities"`
+		} `json:"active"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return genasm.Capabilities{}, err
+	}
+	return rep.Active.Capabilities, nil
+}
+
+// Stats reports the local accounting of calls forwarded to the remote
+// node. Name carries the full spec so multi's per-child breakdown and
+// /backends attribute work to the right address.
+func (b *Backend) Stats() genasm.BackendStats {
+	return genasm.BackendStats{
+		Name:    b.spec,
+		Batches: b.batches.Load(),
+		Pairs:   b.pairs.Load(),
+	}
+}
+
+// Errors reports how many AlignBatch attempts failed (transport and
+// HTTP failures; retried attempts count individually).
+func (b *Backend) Errors() uint64 { return b.errs.Load() }
+
+// BaseURL returns the normalized base URL the backend talks to.
+func (b *Backend) BaseURL() string { return b.base }

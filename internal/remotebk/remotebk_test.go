@@ -1,0 +1,319 @@
+package remotebk
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"genasm"
+	"genasm/server"
+)
+
+// startNode boots a real single-node genasm-serve over httptest.
+func startNode(t *testing.T, opts ...genasm.Option) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := server.New(server.Config{EngineOptions: opts, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func testPairs(n, qlen int) []genasm.Pair {
+	rng := rand.New(rand.NewPCG(11, 13))
+	bases := []byte("ACGT")
+	pairs := make([]genasm.Pair, n)
+	for i := range pairs {
+		q := make([]byte, qlen)
+		for j := range q {
+			q[j] = bases[rng.IntN(4)]
+		}
+		ref := append([]byte(nil), q...)
+		ref[rng.IntN(qlen)] = bases[rng.IntN(4)] // ~1 mismatch
+		pairs[i] = genasm.Pair{Query: q, Ref: append(ref, 'A', 'C')}
+	}
+	return pairs
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec, base string
+		wantErr    bool
+	}{
+		{spec: "remote(10.0.0.2:8080)", base: "http://10.0.0.2:8080"},
+		{spec: "remote(http://a:1)", base: "http://a:1"},
+		{spec: "remote(https://a:1/)", base: "https://a:1"},
+		{spec: "remote()", wantErr: true},
+		{spec: "remote", wantErr: true},
+		{spec: "remote(ftp://a:1)", wantErr: true},
+		{spec: "cpu", wantErr: true},
+	}
+	for _, c := range cases {
+		base, err := parseSpec(c.spec)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseSpec(%q) = %q, want error", c.spec, base)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseSpec(%q): %v", c.spec, err)
+		} else if base != c.base {
+			t.Errorf("parseSpec(%q) = %q, want %q", c.spec, base, c.base)
+		}
+	}
+}
+
+// TestAlignBatchParity: a batch executed through the remote backend is
+// result-identical to the same batch on a local cpu engine.
+func TestAlignBatchParity(t *testing.T) {
+	node, ts := startNode(t)
+	pairs := testPairs(32, 24)
+	want, err := node.Engine().AlignBatch(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bk, err := New("remote(" + strings.TrimPrefix(ts.URL, "http://") + ")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bk.AlignBatch(context.Background(), genasm.Config{}, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Distance != want[i].Distance || got[i].Score != want[i].Score ||
+			got[i].Cigar != want[i].Cigar || got[i].RefConsumed != want[i].RefConsumed {
+			t.Fatalf("result %d diverged: remote %+v, local %+v", i, got[i], want[i])
+		}
+	}
+	st := bk.Stats()
+	if st.Batches != 1 || st.Pairs != uint64(len(pairs)) {
+		t.Fatalf("stats = %+v, want 1 batch / %d pairs", st, len(pairs))
+	}
+	if !strings.HasPrefix(st.Name, "remote(") {
+		t.Fatalf("stats name %q does not carry the spec", st.Name)
+	}
+}
+
+// TestEngineIntegration: the registry resolves remote(...) specs, both
+// standalone and as a multi child, with results identical to cpu.
+func TestEngineIntegration(t *testing.T) {
+	_, ts := startNode(t)
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	pairs := testPairs(16, 20)
+
+	cpu, err := genasm.NewEngine(genasm.WithBackendName("cpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cpu.AlignBatch(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range []string{
+		fmt.Sprintf("remote(%s)", addr),
+		fmt.Sprintf("multi(cpu,remote(%s))", addr),
+	} {
+		eng, err := genasm.NewEngine(genasm.WithBackendName(name))
+		if err != nil {
+			t.Fatalf("NewEngine(%s): %v", name, err)
+		}
+		got, err := eng.AlignBatch(context.Background(), pairs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: result %d diverged: %+v vs %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRetryOnTransportError: connection-level failures are retried; a
+// node that recovers within the attempt budget serves the batch.
+func TestRetryOnTransportError(t *testing.T) {
+	node, nodeTS := startNode(t)
+	var calls atomic.Int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			// Kill the TCP connection before answering: a transport
+			// error, not an HTTP response.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("httptest recorder cannot hijack")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Close()
+			return
+		}
+		node.Handler().ServeHTTP(w, r)
+	}))
+	defer flaky.Close()
+	_ = nodeTS
+
+	bk, err := New("remote(" + flaky.URL + ")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Backoff = time.Millisecond
+	got, err := bk.AlignBatch(context.Background(), genasm.Config{}, testPairs(4, 12))
+	if err != nil {
+		t.Fatalf("expected the third attempt to succeed: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("got %d results, want 4", len(got))
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d attempts, want 3", n)
+	}
+}
+
+// TestNoRetryOnHTTPResponse: once the server answered, the attempt is
+// final — an HTTP error is typed, attributed, and never replayed.
+func TestNoRetryOnHTTPResponse(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"backend exploded"}`))
+	}))
+	defer ts.Close()
+
+	bk, err := New("remote(" + ts.URL + ")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Backoff = time.Millisecond
+	_, err = bk.AlignBatch(context.Background(), genasm.Config{}, testPairs(2, 12))
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a *StatusError", err)
+	}
+	if se.Code != http.StatusInternalServerError || se.Message != "backend exploded" {
+		t.Fatalf("StatusError = %+v", se)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d attempts, want exactly 1 (responses are never retried)", n)
+	}
+}
+
+// TestQueryTooLongMapping: the remote node's over-length 400 surfaces
+// locally as the genasm.ErrQueryTooLong sentinel, end to end against a
+// real node.
+func TestQueryTooLongMapping(t *testing.T) {
+	_, ts := startNode(t, genasm.WithMaxQueryLen(8))
+	bk, err := New("remote(" + ts.URL + ")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := genasm.Pair{Query: []byte("ACGTACGTACGTACGT"), Ref: []byte("ACGTACGTACGTACGTAC")}
+	_, err = bk.AlignBatch(context.Background(), genasm.Config{}, []genasm.Pair{long})
+	if !errors.Is(err, genasm.ErrQueryTooLong) {
+		t.Fatalf("error %v does not wrap genasm.ErrQueryTooLong", err)
+	}
+}
+
+// TestUnreachable: a dead address exhausts the attempt budget and wraps
+// ErrUnreachable; through multi(...) the failure carries per-shard
+// attribution naming the remote child.
+func TestUnreachable(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	addr := strings.TrimPrefix(dead.URL, "http://")
+	dead.Close() // nothing listens here anymore
+
+	bk, err := New("remote(" + addr + ")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk.Attempts, bk.Backoff = 2, time.Millisecond
+	_, err = bk.AlignBatch(context.Background(), genasm.Config{}, testPairs(2, 12))
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("error %v does not wrap ErrUnreachable", err)
+	}
+
+	eng, err := genasm.NewEngine(genasm.WithBackendName(fmt.Sprintf("multi(cpu,remote(%s))", addr)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = eng.AlignBatch(context.Background(), testPairs(8, 12))
+	var se *genasm.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("multi error %v is not a *ShardError", err)
+	}
+	if !strings.HasPrefix(se.Backend, "remote(") {
+		t.Fatalf("shard failure attributed to %q, want the remote child", se.Backend)
+	}
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("shard error %v does not wrap ErrUnreachable", err)
+	}
+}
+
+// TestCapabilitiesTTL: the envelope is fetched once per TTL, refetched
+// after expiry, and degrades to the conservative default while the node
+// has never answered.
+func TestCapabilitiesTTL(t *testing.T) {
+	var fetches atomic.Int32
+	node, _ := startNode(t)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/backends" {
+			fetches.Add(1)
+		}
+		node.Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	bk, err := New("remote(" + ts.URL + ")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := node.Engine().Capabilities()
+	if got := bk.Capabilities(); got != want {
+		t.Fatalf("capabilities = %+v, want the node's %+v", got, want)
+	}
+	if got := bk.Capabilities(); got != want {
+		t.Fatalf("cached capabilities = %+v, want %+v", got, want)
+	}
+	if n := fetches.Load(); n != 1 {
+		t.Fatalf("%d fetches within TTL, want 1", n)
+	}
+	bk.CapTTL = 0 // every call expires the cache
+	bk.Capabilities()
+	if n := fetches.Load(); n != 2 {
+		t.Fatalf("%d fetches after expiry, want 2", n)
+	}
+
+	// A backend that has never reached its node serves the default.
+	deadBk, err := New("remote(127.0.0.1:1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadBk.Client = &http.Client{Timeout: 200 * time.Millisecond}
+	if got := deadBk.Capabilities(); got != defaultCapabilities {
+		t.Fatalf("unreachable-node capabilities = %+v, want default %+v", got, defaultCapabilities)
+	}
+}

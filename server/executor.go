@@ -1,0 +1,103 @@
+package server
+
+import (
+	"net/http"
+
+	"genasm"
+	"genasm/internal/obs"
+	"genasm/internal/samfmt"
+)
+
+// executor is the execution seam between the workload handlers and the
+// two serving modes. The handlers own everything both modes share —
+// body decode, admission control (pair/read counts, empty and
+// over-length queries), format negotiation, request metrics and
+// tracing — then hand the validated request to the mode:
+//
+//   - localExecutor runs it on this node's engine through the cache and
+//     the batch scheduler (the classic single-node path).
+//   - proxyExecutor (proxy.go) forwards the already-read body to an
+//     upstream chosen by consistent hashing, with health-aware
+//     failover, executing nothing locally.
+//
+// raw is the exact request body as read off the wire, so proxy mode
+// forwards bytes, not a re-encoding.
+type executor interface {
+	// maxQueryLen is the admission query-length limit (0 = none here;
+	// proxy mode defers to the upstream's own admission).
+	maxQueryLen() int
+	execAlign(w http.ResponseWriter, r *http.Request, raw []byte, req AlignRequest)
+	execMapAlign(w http.ResponseWriter, r *http.Request, raw []byte, req MapAlignRequest, format string)
+}
+
+// localExecutor executes requests on the server's own engine: result
+// cache in front, dynamic batch scheduler behind.
+type localExecutor struct {
+	s *Server
+}
+
+func (x localExecutor) maxQueryLen() int { return x.s.eng.MaxQueryLen() }
+
+func (x localExecutor) execAlign(w http.ResponseWriter, r *http.Request, raw []byte, req AlignRequest) {
+	s := x.s
+	out := make([]AlignResult, len(req.Pairs))
+	keys := make([]string, len(req.Pairs))
+	var missPairs []genasm.Pair
+	var missIdx []int
+	caching := s.cache.Enabled()
+	for i, p := range req.Pairs {
+		q, ref := []byte(p.Query), []byte(p.Ref)
+		if caching {
+			keys[i] = resultKey(s.fingerprint, ref, q)
+			if res, ok := s.cache.Get(keys[i]); ok {
+				s.metrics.cacheHits.Add(1)
+				out[i] = toAlignResult(res, true)
+				continue
+			}
+			s.metrics.cacheMisses.Add(1)
+		}
+		missPairs = append(missPairs, genasm.Pair{Query: q, Ref: ref})
+		missIdx = append(missIdx, i)
+	}
+	if len(missPairs) > 0 {
+		results, err := s.sched.Submit(r.Context(), missPairs)
+		if err != nil {
+			writeSchedError(w, err)
+			return
+		}
+		for j, res := range results {
+			s.cache.Put(keys[missIdx[j]], res)
+			out[missIdx[j]] = toAlignResult(res, false)
+		}
+	}
+	sp := obs.StartSpan(r.Context(), "serialize",
+		obs.String("format", "json"), obs.Int("results", len(out)))
+	writeJSON(w, http.StatusOK, AlignResponse{Results: out})
+	sp.End()
+}
+
+func (x localExecutor) execMapAlign(w http.ResponseWriter, r *http.Request, raw []byte, req MapAlignRequest, format string) {
+	s := x.s
+	ref, ok := s.registry.Get(req.Ref)
+	if !ok {
+		httpError(w, http.StatusNotFound, "reference %q not registered", req.Ref)
+		return
+	}
+	if format == "sam" || format == "paf" {
+		s.streamMapAlign(w, r, ref, req, samfmt.Format(format))
+		return
+	}
+	aligned, err := s.alignReads(r.Context(), ref, req.Reads, req.AllCandidates)
+	if err != nil {
+		writeSchedError(w, err)
+		return
+	}
+	sp := obs.StartSpan(r.Context(), "serialize",
+		obs.String("format", "json"), obs.Int("reads", len(aligned)))
+	results := make([]MappedRead, len(aligned))
+	for i, ar := range aligned {
+		results[i] = toMappedRead(req.Reads[i].Name, ar)
+	}
+	writeJSON(w, http.StatusOK, MapAlignResponse{Ref: req.Ref, Results: results})
+	sp.End()
+}

@@ -97,6 +97,13 @@ type Config struct {
 	// TraceBuffer is how many recent request traces the GET
 	// /debug/traces ring buffer retains (default 128).
 	TraceBuffer int
+	// Proxy, when it names upstreams, switches the server into the
+	// stateless front-tier mode: /align and /map-align are routed to
+	// upstream genasm-serve nodes by consistent hashing instead of
+	// executed locally, /refs broadcasts, and no engine, scheduler,
+	// cache or jobs lane is built. See ProxyConfig and docs/OPERATIONS.md
+	// "Running a cluster".
+	Proxy ProxyConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -124,22 +131,28 @@ func (c *Config) fillDefaults() {
 // http.Handler. Construct with New, serve Handler(), stop with Close.
 type Server struct {
 	cfg         Config
-	eng         *genasm.Engine
+	eng         *genasm.Engine // nil in proxy mode
 	fingerprint string
-	sched       *Scheduler
+	sched       *Scheduler // nil in proxy mode
 	registry    *Registry
 	cache       *Cache
 	metrics     *Metrics
 	jobs        *jobs.Manager // nil when the bulk lane is disabled
+	proxy       *Proxy        // nil in local mode
+	exec        executor      // localExecutor or proxyExecutor
 	mux         *http.ServeMux
 	log         *slog.Logger
 	traces      *obs.TraceLog
 	build       obs.BuildInfo
 }
 
-// New validates cfg, builds the engine and assembles the service.
+// New validates cfg, builds the engine (or, in proxy mode, the
+// upstream ring) and assembles the service.
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
+	if len(cfg.Proxy.Upstreams) > 0 {
+		return newProxyServer(cfg)
+	}
 	eng, err := genasm.NewEngine(cfg.EngineOptions...)
 	if err != nil {
 		return nil, err
@@ -158,21 +171,8 @@ func New(cfg Config) (*Server, error) {
 		traces:      obs.NewTraceLog(cfg.TraceBuffer),
 		build:       obs.ReadBuildInfo(),
 	}
-	s.mux.HandleFunc("POST /align", s.handleAlign)
-	s.mux.HandleFunc("POST /map-align", s.handleMapAlign)
-	s.mux.HandleFunc("POST /refs", s.handleRefAdd)
-	s.mux.HandleFunc("GET /refs", s.handleRefList)
-	s.mux.HandleFunc("GET /refs/{name}", s.handleRefGet)
-	s.mux.HandleFunc("DELETE /refs/{name}", s.handleRefDelete)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /backends", s.handleBackends)
-	s.mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
-	s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
-	s.mux.HandleFunc("GET /jobs", s.handleJobList)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobDelete)
+	s.exec = localExecutor{s: s}
+	s.routes()
 	if cfg.Jobs.Dir != "" {
 		if cfg.Jobs.Workers <= 0 {
 			// Each bulk worker submits capability-sized batches, so a
@@ -195,6 +195,27 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// routes installs the full endpoint surface. Both modes serve every
+// route: in proxy mode the workload endpoints forward, /refs
+// broadcasts, and the jobs lane (never enabled there) answers 503.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /align", s.handleAlign)
+	s.mux.HandleFunc("POST /map-align", s.handleMapAlign)
+	s.mux.HandleFunc("POST /refs", s.handleRefAdd)
+	s.mux.HandleFunc("GET /refs", s.handleRefList)
+	s.mux.HandleFunc("GET /refs/{name}", s.handleRefGet)
+	s.mux.HandleFunc("DELETE /refs/{name}", s.handleRefDelete)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /backends", s.handleBackends)
+	s.mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	s.mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobDelete)
+}
+
 // registerScrapeMetrics hangs metrics owned by other subsystems (cache,
 // engine backend, jobs lane) onto the Prometheus exposition as
 // scrape-time functions, so both /metrics representations draw from the
@@ -205,12 +226,14 @@ func (s *Server) registerScrapeMetrics() {
 		func() float64 { return float64(s.cache.Len()) })
 	reg.GaugeFunc("genasm_cache_capacity", "Result-cache capacity in entries.",
 		func() float64 { return float64(s.cache.Cap()) })
-	reg.CounterFunc("genasm_backend_batches_total", "AlignBatch executions counted by the engine backend.",
-		func() float64 { return float64(s.eng.BackendStats().Batches) })
-	reg.CounterFunc("genasm_backend_pairs_total", "Pairs aligned, counted by the engine backend.",
-		func() float64 { return float64(s.eng.BackendStats().Pairs) })
-	reg.CounterFunc("genasm_backend_shards_total", "Child dispatches performed by a composite backend.",
-		func() float64 { return float64(s.eng.BackendStats().Shards) })
+	if s.eng != nil {
+		reg.CounterFunc("genasm_backend_batches_total", "AlignBatch executions counted by the engine backend.",
+			func() float64 { return float64(s.eng.BackendStats().Batches) })
+		reg.CounterFunc("genasm_backend_pairs_total", "Pairs aligned, counted by the engine backend.",
+			func() float64 { return float64(s.eng.BackendStats().Pairs) })
+		reg.CounterFunc("genasm_backend_shards_total", "Child dispatches performed by a composite backend.",
+			func() float64 { return float64(s.eng.BackendStats().Shards) })
+	}
 	if s.jobs == nil {
 		return
 	}
@@ -249,8 +272,8 @@ func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.requests.Add(1)
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		tr := obs.NewTrace(r.Method+" "+r.URL.Path, r.Header.Get("X-Request-Id"))
-		w.Header().Set("X-Request-Id", tr.ID)
+		tr := obs.NewTrace(r.Method+" "+r.URL.Path, r.Header.Get(obs.RequestIDHeader))
+		w.Header().Set(obs.RequestIDHeader, tr.ID)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		s.mux.ServeHTTP(rec, r.WithContext(obs.WithTrace(r.Context(), tr)))
 		dur := tr.Finish()
@@ -292,8 +315,16 @@ func (s *Server) Close() {
 	if s.jobs != nil {
 		s.jobs.Close()
 	}
-	s.sched.Close()
+	if s.sched != nil {
+		s.sched.Close()
+	}
+	if s.proxy != nil {
+		s.proxy.Close()
+	}
 }
+
+// Proxy returns the front-tier proxy, or nil in local mode.
+func (s *Server) Proxy() *Proxy { return s.proxy }
 
 // Jobs returns the bulk-lane job manager, or nil when the lane is
 // disabled (no jobs directory configured).
@@ -412,9 +443,14 @@ type RefAddRequest struct {
 
 // ---- handlers ----
 
+// handleAlign owns the mode-independent /align work — decode, pair
+// count and per-pair admission — and hands the validated request to the
+// mode's executor (local cache+scheduler execution, or a consistent-hash
+// forward to an upstream).
 func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	var req AlignRequest
-	if !s.decodeJSON(w, r, &req) {
+	raw, ok := s.readJSON(w, r, &req)
+	if !ok {
 		return
 	}
 	if len(req.Pairs) == 0 {
@@ -426,7 +462,7 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 			len(req.Pairs), s.cfg.MaxPairsPerRequest)
 		return
 	}
-	maxQ := s.eng.MaxQueryLen()
+	maxQ := s.exec.maxQueryLen()
 	for i, p := range req.Pairs {
 		if p.Query == "" || p.Ref == "" {
 			httpError(w, http.StatusBadRequest, "pair %d: empty query or ref", i)
@@ -438,51 +474,17 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-
-	out := make([]AlignResult, len(req.Pairs))
-	keys := make([]string, len(req.Pairs))
-	var missPairs []genasm.Pair
-	var missIdx []int
-	caching := s.cache.Enabled()
-	for i, p := range req.Pairs {
-		q, ref := []byte(p.Query), []byte(p.Ref)
-		if caching {
-			keys[i] = resultKey(s.fingerprint, ref, q)
-			if res, ok := s.cache.Get(keys[i]); ok {
-				s.metrics.cacheHits.Add(1)
-				out[i] = toAlignResult(res, true)
-				continue
-			}
-			s.metrics.cacheMisses.Add(1)
-		}
-		missPairs = append(missPairs, genasm.Pair{Query: q, Ref: ref})
-		missIdx = append(missIdx, i)
-	}
-	if len(missPairs) > 0 {
-		results, err := s.sched.Submit(r.Context(), missPairs)
-		if err != nil {
-			writeSchedError(w, err)
-			return
-		}
-		for j, res := range results {
-			s.cache.Put(keys[missIdx[j]], res)
-			out[missIdx[j]] = toAlignResult(res, false)
-		}
-	}
-	sp := obs.StartSpan(r.Context(), "serialize",
-		obs.String("format", "json"), obs.Int("results", len(out)))
-	writeJSON(w, http.StatusOK, AlignResponse{Results: out})
-	sp.End()
+	s.exec.execAlign(w, r, raw, req)
 }
 
+// handleMapAlign owns the mode-independent /map-align work — decode,
+// read-count admission, format negotiation — and dispatches to the
+// mode's executor. The reference lookup is the local executor's: a
+// front tier holds no registry and routes by the reference name.
 func (s *Server) handleMapAlign(w http.ResponseWriter, r *http.Request) {
 	var req MapAlignRequest
-	if !s.decodeJSON(w, r, &req) {
-		return
-	}
-	ref, ok := s.registry.Get(req.Ref)
+	raw, ok := s.readJSON(w, r, &req)
 	if !ok {
-		httpError(w, http.StatusNotFound, "reference %q not registered", req.Ref)
 		return
 	}
 	if len(req.Reads) == 0 {
@@ -499,28 +501,14 @@ func (s *Server) handleMapAlign(w http.ResponseWriter, r *http.Request) {
 		format = qf
 	}
 	switch format {
-	case "", "json":
-	case "sam", "paf":
-		s.streamMapAlign(w, r, ref, req, samfmt.Format(format))
-		return
+	case "":
+		format = "json"
+	case "json", "sam", "paf":
 	default:
 		httpError(w, http.StatusBadRequest, "unknown format %q (want json, sam or paf)", format)
 		return
 	}
-
-	aligned, err := s.alignReads(r.Context(), ref, req.Reads, req.AllCandidates)
-	if err != nil {
-		writeSchedError(w, err)
-		return
-	}
-	sp := obs.StartSpan(r.Context(), "serialize",
-		obs.String("format", "json"), obs.Int("reads", len(aligned)))
-	results := make([]MappedRead, len(aligned))
-	for i, ar := range aligned {
-		results[i] = toMappedRead(req.Reads[i].Name, ar)
-	}
-	writeJSON(w, http.StatusOK, MapAlignResponse{Ref: req.Ref, Results: results})
-	sp.End()
+	s.exec.execMapAlign(w, r, raw, req, format)
 }
 
 // alignedRead is one read's outcome from alignReads. Exactly one of err,
@@ -708,11 +696,18 @@ func (s *Server) streamMapAlign(w http.ResponseWriter, r *http.Request, ref *Ref
 
 func (s *Server) handleRefAdd(w http.ResponseWriter, r *http.Request) {
 	var req RefAddRequest
-	if !s.decodeJSON(w, r, &req) {
+	raw, ok := s.readJSON(w, r, &req)
+	if !ok {
 		return
 	}
 	if req.Sequence == "" {
 		httpError(w, http.StatusBadRequest, "empty sequence")
+		return
+	}
+	if s.proxy != nil {
+		// Every upstream must hold every reference: failover re-routes a
+		// ref's traffic to the next ring node, which then needs the data.
+		s.proxy.broadcast(w, r, raw, http.StatusCreated)
 		return
 	}
 	ref, err := s.registry.Add(req.Name, []byte(req.Sequence))
@@ -728,10 +723,18 @@ func (s *Server) handleRefAdd(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRefList(w http.ResponseWriter, r *http.Request) {
+	if s.proxy != nil {
+		s.proxy.forwardAny(w, r, nil)
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"refs": s.registry.List()})
 }
 
 func (s *Server) handleRefGet(w http.ResponseWriter, r *http.Request) {
+	if s.proxy != nil {
+		s.proxy.forwardAny(w, r, nil)
+		return
+	}
 	ref, ok := s.registry.Get(r.PathValue("name"))
 	if !ok {
 		httpError(w, http.StatusNotFound, "reference %q not registered", r.PathValue("name"))
@@ -741,6 +744,10 @@ func (s *Server) handleRefGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRefDelete(w http.ResponseWriter, r *http.Request) {
+	if s.proxy != nil {
+		s.proxy.broadcast(w, r, nil, http.StatusNoContent)
+		return
+	}
 	if !s.registry.Remove(r.PathValue("name")) {
 		httpError(w, http.StatusNotFound, "reference %q not registered", r.PathValue("name"))
 		return
@@ -749,6 +756,10 @@ func (s *Server) handleRefDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.proxy != nil {
+		s.handleProxyHealthz(w, r)
+		return
+	}
 	h := map[string]any{
 		"status":         "ok",
 		"backend":        s.eng.BackendName(),
@@ -814,18 +825,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.Snapshot()
 	snap["cache_size"] = s.cache.Len()
 	snap["cache_capacity"] = s.cache.Cap()
-	// The engine backend's own counters ride along: generic batch/pair
-	// totals for any backend, shard totals and per-child breakdowns for
-	// composites, last device launch for device-backed ones.
-	bs := s.eng.BackendStats()
-	snap["backend_batches_total"] = bs.Batches
-	snap["backend_pairs_total"] = bs.Pairs
-	if bs.Shards > 0 || len(bs.Children) > 0 {
-		snap["backend_shards_total"] = bs.Shards
-		snap["backend_children"] = bs.Children
+	if s.eng != nil {
+		// The engine backend's own counters ride along: generic batch/pair
+		// totals for any backend, shard totals and per-child breakdowns for
+		// composites, last device launch for device-backed ones.
+		bs := s.eng.BackendStats()
+		snap["backend_batches_total"] = bs.Batches
+		snap["backend_pairs_total"] = bs.Pairs
+		if bs.Shards > 0 || len(bs.Children) > 0 {
+			snap["backend_shards_total"] = bs.Shards
+			snap["backend_children"] = bs.Children
+		}
+		if bs.GPU != nil {
+			snap["backend_gpu_last_launch"] = bs.GPU
+		}
 	}
-	if bs.GPU != nil {
-		snap["backend_gpu_last_launch"] = bs.GPU
+	if s.proxy != nil {
+		addClusterMetrics(snap, s.proxy)
 	}
 	if s.jobs != nil {
 		addJobsMetrics(snap, s.jobs.Stats())
@@ -839,6 +855,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // WithBackendName values and to watch a composite backend's shard
 // distribution.
 func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	if s.proxy != nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"registered": genasm.Backends(),
+			"cluster":    s.proxy.Snapshot(),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"registered": genasm.Backends(),
 		"active": map[string]any{
@@ -894,6 +917,29 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 	}
 	return false
+}
+
+// readJSON reads the whole request body (bounded by the MaxBytesReader
+// Handler installs) and unmarshals it into v, answering 413/400 like
+// decodeJSON. It additionally returns the raw bytes, so proxy mode
+// forwards exactly what the client sent instead of a re-encoding.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) ([]byte, bool) {
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+		} else {
+			httpError(w, http.StatusBadRequest, "reading request body: %v", err)
+		}
+		return nil, false
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return nil, false
+	}
+	return raw, true
 }
 
 func writeSchedError(w http.ResponseWriter, err error) {
