@@ -7,7 +7,7 @@ package cigar
 import (
 	"errors"
 	"fmt"
-	"strings"
+	"strconv"
 )
 
 // OpKind is a single alignment operation kind.
@@ -69,11 +69,12 @@ func (c Cigar) Concat(other Cigar) Cigar {
 
 // String renders the standard CIGAR notation, e.g. "10=1X3I7=".
 func (c Cigar) String() string {
-	var b strings.Builder
+	buf := make([]byte, 0, 8*len(c))
 	for _, op := range c {
-		fmt.Fprintf(&b, "%d%c", op.Len, op.Kind)
+		buf = strconv.AppendInt(buf, int64(op.Len), 10)
+		buf = append(buf, byte(op.Kind))
 	}
-	return b.String()
+	return string(buf)
 }
 
 // Parse parses the notation produced by String. It accepts only the four

@@ -243,6 +243,73 @@ func TestMultiwordAblations(t *testing.T) {
 	}
 }
 
+// TestAblationMatrixAcrossGeometries runs every valid SENE/DENT/ET combo
+// over window geometries that exercise both kernels and every storage
+// layout: the single-word boundary (W=64), the first multi-word width
+// (W=65), packed one-word and two-word bands (W=200 at k=12 and k=40),
+// a band that exactly fills the single word (k=30), and a budget past
+// the single-word band limit (k=31, banding auto-off). Every mode pair
+// must agree on distance, consumed text and the byte-identical CIGAR,
+// and the reference output must match the quadratic gold standard.
+func TestAblationMatrixAcrossGeometries(t *testing.T) {
+	geoms := []struct {
+		name    string
+		w, o, k int
+	}{
+		{"w64-boundary", 64, 24, 12},
+		{"w64-band-full-word", 64, 24, 30},  // bandB = 63 <= 64: banded
+		{"w64-band-over-limit", 64, 24, 31}, // bandB = 65 > 64: banding off
+		{"w65-first-multiword", 65, 24, 12},
+		{"w200-packed-one-word", 200, 50, 12}, // band fits 1 of 4 words
+		{"w200-two-band-words", 200, 50, 40},  // band needs 2 of 4 words
+	}
+	for _, g := range geoms {
+		t.Run(g.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + g.w + g.k)))
+			cfgs := ablations(Config{W: g.w, O: g.o, InitialK: g.k})
+			aligners := make([]*Aligner, len(cfgs))
+			for i, c := range cfgs {
+				aligners[i] = mustAligner(t, c)
+			}
+			for iter := 0; iter < 30; iter++ {
+				m := 1 + rng.Intn(g.w)
+				if iter%3 == 0 {
+					m = g.w // always include the full-width case
+				}
+				p := randCodes(rng, m)
+				tx := mutateCodes(rng, p, 0.2)
+				if len(tx) > g.w+g.w/4 {
+					tx = tx[:g.w+g.w/4]
+				}
+				ref, err := aligners[0].AlignWindow(p, tx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wantD, _, _ := swg.PrefixAlign(decode(p), decode(tx)); ref.Distance != wantD {
+					t.Fatalf("iter %d: distance %d, gold standard %d", iter, ref.Distance, wantD)
+				}
+				if ref.Cigar.EditCost() != ref.Distance {
+					t.Fatalf("iter %d: cigar cost %d != distance %d", iter, ref.Cigar.EditCost(), ref.Distance)
+				}
+				if err := ref.Cigar.Check(decode(p), decode(tx[:ref.TextUsed])); err != nil {
+					t.Fatalf("iter %d: invalid cigar: %v", iter, err)
+				}
+				for i := 1; i < len(aligners); i++ {
+					got, err := aligners[i].AlignWindow(p, tx)
+					if err != nil {
+						t.Fatalf("cfg %+v: %v", cfgs[i], err)
+					}
+					if got.Distance != ref.Distance || got.TextUsed != ref.TextUsed ||
+						got.Cigar.String() != ref.Cigar.String() {
+						t.Fatalf("iter %d: cfg %+v diverges from %+v: %d/%d %q/%q",
+							iter, cfgs[i], cfgs[0], got.Distance, ref.Distance, got.Cigar, ref.Cigar)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestPipelinePerfectRead(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	a := mustAligner(t, DefaultConfig())
@@ -341,20 +408,20 @@ func TestCountersImprovedVsUnimproved(t *testing.T) {
 	}
 }
 
-func TestBandExtract(t *testing.T) {
-	// Construct a word with known bits and check band slicing against a
-	// bit-by-bit model.
-	r := uint64(0)
-	m := 40
-	set := map[int]bool{0: true, 5: true, 31: true, 39: true}
+func TestExtract64(t *testing.T) {
+	// Construct a multi-word state with known active (0) bits and check
+	// band slicing against a bit-by-bit model, across word boundaries and
+	// past both ends of the pattern.
+	m := 150
+	set := map[int]bool{0: true, 5: true, 63: true, 64: true, 100: true, 127: true, 128: true, 149: true}
+	words := make([]uint64, (m+63)/64)
 	for j := 0; j < m; j++ {
 		if !set[j] {
-			r |= 1 << uint(j)
+			words[j/64] |= 1 << uint(j%64)
 		}
 	}
-	r |= ^uint64(0) << uint(m)
-	for _, lo := range []int{-70, -10, -1, 0, 3, 30, 38, 39, 64, 80} {
-		w := bandExtract(r, lo, m)
+	for _, lo := range []int{-200, -70, -10, -1, 0, 3, 30, 60, 63, 64, 65, 100, 126, 127, 128, 148, 149, 150, 200} {
+		w := extract64(words, lo, m)
 		for b := 0; b < 64; b++ {
 			j := lo + b
 			want := uint64(1)

@@ -49,114 +49,27 @@ func (mk *masks64) initRow(d int) uint64 {
 	return r | mk.high
 }
 
-// table64 is the stored DP working set of one window: everything the
-// traceback is allowed to read. Depending on the configuration it stores
-// per (error level d, text position i in 1..n) either the single entry
-// bitvector R[d][i] (SENE), a banded slice of it (SENE+DENT), or the four
-// edge bitvectors match/substitution/deletion/insertion (neither; the
-// unimproved layout).
-type table64 struct {
-	m, n, k int
-	entries bool // SENE: entry storage (1 word) vs edge storage (4 words)
-	banded  bool // DENT: entries hold a (2k+3)-bit diagonal band
-	bandB   int  // band width in bits when banded
-	// storeBytes is the size of one stored entry as packed in memory:
-	// banded entries round the band up to whole bytes, full entries are
-	// one 64-bit word.
-	storeBytes uint64
-	rows       [][]uint64
-}
-
-// bandLo returns the lowest pattern bit index stored for text position i:
-// the traceback diagonal at i minus the band's half width.
-func (t *table64) bandLo(i int) int {
-	return (t.m - 1 - t.n + i) - (t.k + 1)
-}
-
-// bandExtract packs bits [lo, lo+64) of the full automaton word r into a
-// stored band word. Bit positions outside [0, m) read as 1 (inactive).
-func bandExtract(r uint64, lo, m int) uint64 {
-	var w uint64
-	switch {
-	case lo >= 64:
-		w = ^uint64(0)
-	case lo >= 0:
-		w = r >> uint(lo)
-		if lo > 0 {
-			w |= ^uint64(0) << uint(64-lo)
-		}
-	case lo <= -64:
-		w = ^uint64(0)
-	default: // -64 < lo < 0
-		sh := uint(-lo)
-		w = r<<sh | (uint64(1)<<sh - 1)
-	}
-	if bs := m - lo; bs < 64 {
-		if bs < 0 {
-			bs = 0
-		}
-		w |= ^uint64(0) << uint(bs)
-	}
-	return w
-}
-
-// entryBit returns bit j of R[d][i], reading stored state. Queries outside
-// the automaton (j < 0 fresh start, j >= m, i == 0 initial state, or outside
-// the stored band) are answered from the closed-form padding rules.
-func (t *table64) entryBit(d, i, j int, c *stats.Counters) uint64 {
-	switch {
-	case j < 0:
-		return 0 // fresh start: the empty pattern prefix is always active
-	case j >= t.m:
-		return 1
-	case i == 0:
-		if j < d {
-			return 0 // j+1 deletions
-		}
-		return 1
-	}
-	c.AddRead(1, t.storeBytes)
-	w := t.rows[d][i-1]
-	if t.banded {
-		b := j - t.bandLo(i)
-		if b < 0 || b >= t.bandB {
-			return 1 // outside the traceback-reachable band
-		}
-		return (w >> uint(b)) & 1
-	}
-	return (w >> uint(j)) & 1
-}
-
-// edge indices within an edge-mode entry.
-const (
-	edgeM = 0
-	edgeS = 1
-	edgeD = 2
-	edgeI = 3
-)
-
-// edgeBit returns bit j of the stored edge vector (edge-mode tables only).
-func (t *table64) edgeBit(e, d, i, j int, c *stats.Counters) uint64 {
-	c.AddRead(1, 8)
-	return (t.rows[d][4*(i-1)+e] >> uint(j)) & 1
-}
-
 // dc64 runs the improved GenASM distance calculation for one window:
 // reversed pattern masks mk against reversed text tRev (base codes), with
 // error budget k. It returns the stored table and the window distance d*,
 // or ok=false if the distance exceeds k.
 //
 // The loop is row-major over error levels so that early termination can
-// skip every row above the first solved one. rowPrev/rowCur hold the full
-// automaton words of rows d-1 and d (the kernel working registers); the
-// stored table receives only what the configuration allows the traceback
-// to read.
-func dc64(mk *masks64, tRev []byte, k int, cfg Config, scratch *scratch64, c *stats.Counters) (*table64, int, bool) {
+// skip every row above the first solved one. In entry mode (SENE) the
+// stored rows double as the kernel's working state: row d's recurrence
+// reads R[d-1][i-1] and R[d-1][i] straight from the stored row d-1, so
+// each text position costs exactly one load and one store of DP state.
+// Edge mode keeps separate working rows, since its stored vectors are the
+// four edges rather than the ANDed entries.
+func dc64(mk *masks64, tRev []byte, k int, cfg Config, scratch *tableScratch, c *stats.Counters) (*table, int, bool) {
 	m, n := mk.m, len(tRev)
-	t := &table64{
+	t := &scratch.tbl
+	*t = table{
 		m: m, n: n, k: k,
 		entries: !cfg.DisableSENE,
 		banded:  !cfg.DisableDENT && 2*k+3 <= 64,
+		wpe:     1,
+		stride:  1,
 		rows:    scratch.rows[:0],
 	}
 	t.storeBytes = 8
@@ -166,67 +79,71 @@ func dc64(mk *masks64, tRev []byte, k int, cfg Config, scratch *scratch64, c *st
 		entryBits = uint64(t.bandB)
 		t.storeBytes = uint64(t.bandB+7) / 8
 	}
+	if !t.entries {
+		t.stride = 4
+	}
 
-	rowPrev := scratch.row(0, n+1)
-	rowCur := scratch.row(1, n+1)
-
+	high := mk.high
+	var rowPrev, rowCur []uint64
+	if !t.entries {
+		rowPrev = scratch.row(0, n+1)
+		rowCur = scratch.row(1, n+1)
+	}
 	solved := -1
 	for d := 0; d <= k; d++ {
-		prev := mk.initRow(d)
-		rowCur[0] = prev
-		var drow []uint64
+		drow := scratch.tableRow(d, t.stride*n)
+		var last uint64
 		if t.entries {
-			drow = scratch.tableRow(d, n)
-		} else {
-			drow = scratch.tableRow(d, 4*n)
-		}
-		for i := 1; i <= n; i++ {
-			pmt := mk.pm[tRev[i-1]]
-			M := prev<<1 | pmt
-			var cur uint64
+			prev := mk.initRow(d)
 			if d == 0 {
-				cur = M | mk.high
-				if t.entries {
-					if t.banded {
-						drow[i-1] = bandExtract(cur, t.bandLo(i), m)
-					} else {
-						drow[i-1] = cur
-					}
-					c.AddWrite(1, t.storeBytes)
-					c.AddFootprint(entryBits)
-				} else {
-					e := drow[4*(i-1):]
-					e[edgeM], e[edgeS], e[edgeD], e[edgeI] = M, ^uint64(0), ^uint64(0), ^uint64(0)
-					c.AddWrite(4, 8)
-					c.AddFootprint(4 * 64)
+				for i := 0; i < n; i++ {
+					cur := prev<<1 | mk.pm[tRev[i]] | high
+					drow[i] = cur
+					prev = cur
 				}
 			} else {
-				up1 := rowPrev[i-1] // R[d-1][i-1]
-				S := up1 << 1
-				D := rowPrev[i] << 1
-				I := up1
-				cur = (M & S & D & I) | mk.high
-				if t.entries {
-					if t.banded {
-						drow[i-1] = bandExtract(cur, t.bandLo(i), m)
-					} else {
-						drow[i-1] = cur
-					}
-					c.AddWrite(1, t.storeBytes)
-					c.AddFootprint(entryBits)
-				} else {
-					e := drow[4*(i-1):]
-					e[edgeM], e[edgeS], e[edgeD], e[edgeI] = M, S, D, I
-					c.AddWrite(4, 8)
-					c.AddFootprint(4 * 64)
+				prevRow := t.rows[d-1]
+				up := mk.initRow(d - 1) // R[d-1][i-1], starts at the init state
+				for i := 0; i < n; i++ {
+					ur := prevRow[i] // R[d-1][i]
+					cur := (prev<<1|mk.pm[tRev[i]])&(up<<1)&(ur<<1)&up | high
+					drow[i] = cur
+					prev = cur
+					up = ur
 				}
 			}
-			rowCur[i] = cur
-			prev = cur
+			last = prev
+			c.AddWrite(uint64(n), t.storeBytes)
+			c.AddFootprint(uint64(n) * entryBits)
+		} else {
+			prev := mk.initRow(d)
+			rowCur[0] = prev
+			for i := 1; i <= n; i++ {
+				M := prev<<1 | mk.pm[tRev[i-1]]
+				var cur uint64
+				e := drow[4*(i-1):]
+				if d == 0 {
+					cur = M | high
+					e[edgeM], e[edgeS], e[edgeD], e[edgeI] = M, ^uint64(0), ^uint64(0), ^uint64(0)
+				} else {
+					up1 := rowPrev[i-1] // R[d-1][i-1]
+					S := up1 << 1
+					D := rowPrev[i] << 1
+					I := up1
+					cur = M&S&D&I | high
+					e[edgeM], e[edgeS], e[edgeD], e[edgeI] = M, S, D, I
+				}
+				rowCur[i] = cur
+				prev = cur
+			}
+			last = prev
+			c.AddWrite(uint64(4*n), 8)
+			c.AddFootprint(uint64(4*n) * 64)
+			rowPrev, rowCur = rowCur, rowPrev
 		}
 		//lint:allow hotalloc appends into the scratch-backed rows slice; amortized to zero across windows
 		t.rows = append(t.rows, drow)
-		if solved < 0 && rowCur[n]>>uint(m-1)&1 == 0 {
+		if solved < 0 && last>>uint(m-1)&1 == 0 {
 			solved = d
 			if !cfg.DisableET {
 				c.AddRows(uint64(d+1), uint64(k-d))
@@ -234,7 +151,6 @@ func dc64(mk *masks64, tRev []byte, k int, cfg Config, scratch *scratch64, c *st
 				return t, d, true
 			}
 		}
-		rowPrev, rowCur = rowCur, rowPrev
 	}
 	scratch.rows = t.rows
 	c.AddRows(uint64(len(t.rows)), 0)
@@ -254,15 +170,23 @@ func dc64(mk *masks64, tRev []byte, k int, cfg Config, scratch *scratch64, c *st
 // Edge priority is match, substitution, deletion (pattern-only: a query
 // insertion in CIGAR terms), insertion (text-only: a query deletion). Every
 // implementation in this repository uses the same order, so ablated and
-// unimproved configurations produce byte-identical alignments.
-func traceback64(t *table64, mk *masks64, tRev []byte, dStar int, c *stats.Counters) (cigar.Cigar, int, error) {
-	var cg cigar.Cigar
+// unimproved configurations produce byte-identical alignments. Match runs
+// are followed to their end before emitting, so the common case (long
+// stretches of agreement between pattern and text) costs one run-length
+// append instead of one per base.
+func traceback64(t *table, mk *masks64, tRev []byte, dStar int, c *stats.Counters) (cigar.Cigar, int, error) {
+	cg := make(cigar.Cigar, 0, 2*dStar+2) // <= 2*d*+1 runs: each edit breaks at most one match run
 	i, j, d := t.n, t.m-1, dStar
 	for j >= 0 {
 		if t.entries {
 			if i >= 1 && mk.pm[tRev[i-1]]>>uint(j)&1 == 0 && t.entryBit(d, i-1, j-1, c) == 0 {
-				cg = cg.Append(cigar.Match, 1)
+				run := 1
 				i, j = i-1, j-1
+				for i >= 1 && j >= 0 && mk.pm[tRev[i-1]]>>uint(j)&1 == 0 && t.entryBit(d, i-1, j-1, c) == 0 {
+					run++
+					i, j = i-1, j-1
+				}
+				cg = cg.Append(cigar.Match, run)
 				continue
 			}
 			if d >= 1 {
@@ -315,30 +239,4 @@ func traceback64(t *table64, mk *masks64, tRev []byte, dStar int, c *stats.Count
 		return nil, 0, fmt.Errorf("core: traceback stuck at i=%d j=%d d=%d (table %dx%d k=%d)", i, j, d, t.n, t.m, t.k)
 	}
 	return cg, t.n - i, nil
-}
-
-// scratch64 owns the reusable buffers of one Aligner so window alignment is
-// allocation-free in the steady state. Not safe for concurrent use.
-type scratch64 struct {
-	rowBuf [2][]uint64
-	rows   [][]uint64
-	table  [][]uint64 // backing rows, grown on demand
-}
-
-func (s *scratch64) row(which, n int) []uint64 {
-	if cap(s.rowBuf[which]) < n {
-		s.rowBuf[which] = make([]uint64, n)
-	}
-	return s.rowBuf[which][:n]
-}
-
-func (s *scratch64) tableRow(d, n int) []uint64 {
-	for len(s.table) <= d {
-		//lint:allow hotalloc one-time scratch growth per new error depth, amortized to zero across windows
-		s.table = append(s.table, nil)
-	}
-	if cap(s.table[d]) < n {
-		s.table[d] = make([]uint64, n)
-	}
-	return s.table[d][:n]
 }

@@ -1,0 +1,122 @@
+package core_test
+
+// Differential fuzzing of the window kernel. Every input is aligned by all
+// six valid SENE/DENT/ET ablations of internal/core, by the independent
+// unimproved implementation in internal/baseline (single-word widths), and
+// checked against the quadratic gold standard in internal/swg. Any distance
+// mismatch, CIGAR divergence between modes, or CIGAR that does not replay
+// to the claimed distance fails the target.
+//
+// This lives in an external test package because internal/baseline imports
+// internal/core (for core.WindowResult), so an in-package fuzz test would
+// create an import cycle.
+
+import (
+	"testing"
+
+	"genasm/internal/baseline"
+	"genasm/internal/core"
+	"genasm/internal/dna"
+	"genasm/internal/swg"
+)
+
+// fuzzAblations mirrors the in-package ablations helper: the six valid
+// SENE/DENT/ET combinations (DENT requires SENE).
+func fuzzAblations(base core.Config) []core.Config {
+	var out []core.Config
+	for _, et := range []bool{false, true} {
+		for _, mode := range []struct{ sene, dent bool }{
+			{false, false}, {true, false}, {true, true},
+		} {
+			c := base
+			c.DisableET = et
+			c.DisableSENE = !mode.sene
+			c.DisableDENT = !mode.dent
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func clampFuzzCodes(raw []byte, maxLen int) []byte {
+	if len(raw) > maxLen {
+		raw = raw[:maxLen]
+	}
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = b % 4
+	}
+	return out
+}
+
+func FuzzWindowAlign(f *testing.F) {
+	// Seeds cover: exact match, substitutions, indels, the W=64 boundary,
+	// multi-word widths, a band-limit budget, and degenerate texts.
+	f.Add([]byte("\x00\x01\x02\x03"), []byte("\x00\x01\x02\x03"), uint8(12), uint8(16))
+	f.Add([]byte("\x00\x01\x02\x03"), []byte("\x00\x03\x02\x03"), uint8(4), uint8(16))
+	f.Add([]byte("\x00\x01\x01\x02\x03"), []byte("\x00\x01\x02\x03"), uint8(2), uint8(8))
+	f.Add(make([]byte, 64), make([]byte, 80), uint8(12), uint8(64))
+	f.Add(make([]byte, 65), make([]byte, 70), uint8(12), uint8(65))
+	f.Add(make([]byte, 100), make([]byte, 120), uint8(40), uint8(200))
+	f.Add([]byte("\x01\x01\x01"), []byte{}, uint8(3), uint8(4))
+	f.Add([]byte("\x02"), []byte("\x03\x03\x03\x03"), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, pRaw, tRaw []byte, kRaw, wRaw uint8) {
+		w := 1 + int(wRaw)%200 // window width 1..200: both kernels
+		k := 1 + int(kRaw)%w   // budget 1..w: banded, band-limit and unbanded
+		p := clampFuzzCodes(pRaw, w)
+		tx := clampFuzzCodes(tRaw, w+w/4+8)
+		if len(p) == 0 {
+			return
+		}
+		wantD, _, _ := swg.PrefixAlign(dna.DecodeSeq(p), dna.DecodeSeq(tx))
+
+		var refCg string
+		var refUsed int
+		cfgs := fuzzAblations(core.Config{W: w, O: 0, InitialK: k})
+		for i, cfg := range cfgs {
+			a, err := core.New(cfg)
+			if err != nil {
+				t.Fatalf("cfg %+v: %v", cfg, err)
+			}
+			wr, err := a.AlignWindow(p, tx)
+			if err != nil {
+				t.Fatalf("cfg %+v: %v", cfg, err)
+			}
+			if wr.Distance != wantD {
+				t.Fatalf("cfg %+v: distance %d, gold standard %d (m=%d n=%d)",
+					cfg, wr.Distance, wantD, len(p), len(tx))
+			}
+			if got := wr.Cigar.EditCost(); got != wr.Distance {
+				t.Fatalf("cfg %+v: cigar cost %d != distance %d", cfg, got, wr.Distance)
+			}
+			if err := wr.Cigar.Check(dna.DecodeSeq(p), dna.DecodeSeq(tx[:wr.TextUsed])); err != nil {
+				t.Fatalf("cfg %+v: cigar does not replay: %v", cfg, err)
+			}
+			if i == 0 {
+				refCg, refUsed = wr.Cigar.String(), wr.TextUsed
+			} else if wr.Cigar.String() != refCg || wr.TextUsed != refUsed {
+				t.Fatalf("cfg %+v diverges from %+v: %q/%q used %d/%d",
+					cfg, cfgs[0], wr.Cigar, refCg, wr.TextUsed, refUsed)
+			}
+		}
+
+		// The unimproved MICRO 2020 formulation is single-word only.
+		if w <= 64 {
+			ba, err := baseline.New(baseline.Config{W: w, O: 0, InitialK: k})
+			if err != nil {
+				t.Fatalf("baseline config: %v", err)
+			}
+			bw, err := ba.AlignWindow(p, tx)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			if bw.Distance != wantD {
+				t.Fatalf("baseline distance %d, gold standard %d", bw.Distance, wantD)
+			}
+			if bw.Cigar.String() != refCg || bw.TextUsed != refUsed {
+				t.Fatalf("baseline diverges from improved: %q/%q used %d/%d",
+					bw.Cigar, refCg, bw.TextUsed, refUsed)
+			}
+		}
+	})
+}

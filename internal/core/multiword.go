@@ -9,16 +9,17 @@ import (
 )
 
 // Multi-word window path: the same improved GenASM algorithm for windows
-// wider than one machine word (64 < W). The automaton rows become
-// bitvec.V values; the structure of the distance calculation, early
+// wider than one machine word (64 < W). The automaton rows span
+// bitvec.Words(m) uint64s; the structure of the distance calculation, early
 // termination and traceback is identical to the single-word fast path in
-// dc64.go.
+// dc64.go, and both paths share the flat stored-table layout in table.go.
 //
-// DENT note: the stored entries remain whole vectors at the Go level (the
-// language has no sub-word addressing worth modelling here), but banded
-// reads are enforced — out-of-band bits answer "inactive" — and the
-// footprint accounting charges only the band bits, which is what a packed
-// implementation (or the GPU kernels in internal/gpualign) would allocate.
+// DENT here is real at the storage level: when the (2k+3)-bit diagonal band
+// needs fewer words than the full automaton state, only the band words are
+// extracted (extract64) and stored per entry, so the stored working set
+// shrinks from wpe = Words(m) words per entry to ceil((2k+3)/64) — one word
+// for every default-band configuration. The traceback indexes into the band
+// through table.entryBit's packed path.
 
 type masksMW struct {
 	pm [dna.Alphabet]bitvec.V
@@ -29,7 +30,7 @@ type masksMW struct {
 // their capacity suffices (the final partial window of every alignment
 // has a smaller m, so an equality check alone would rebuild all scratch
 // twice per Align call). The resized vector's bits are unspecified;
-// every caller fully overwrites it (Fill/Copy/Shl1/And4) before reading.
+// every caller fully overwrites it before reading.
 func ensureV(v *bitvec.V, m int) {
 	words := bitvec.Words(m)
 	if v.Width == m && len(v.W) == words {
@@ -67,51 +68,14 @@ func (mk *masksMW) initRowInto(v bitvec.V, d int) {
 	}
 }
 
-type tableMW struct {
-	m, n, k    int
-	entries    bool
-	banded     bool
-	bandB      int
-	storeBytes uint64
-	rows       [][]bitvec.V
-}
-
-func (t *tableMW) bandLo(i int) int { return (t.m - 1 - t.n + i) - (t.k + 1) }
-
-func (t *tableMW) entryBit(d, i, j int, w *windowAligner) uint {
-	switch {
-	case j < 0:
-		return 0
-	case j >= t.m:
-		return 1
-	case i == 0:
-		if j < d {
-			return 0
-		}
-		return 1
-	}
-	w.counters.AddRead(1, t.storeBytes)
-	if t.banded {
-		b := j - t.bandLo(i)
-		if b < 0 || b >= t.bandB {
-			return 1
-		}
-	}
-	return t.rows[d][i-1].Bit(j)
-}
-
-func (t *tableMW) edgeBit(e, d, i, j int, w *windowAligner) uint {
-	w.counters.AddRead(1, 8)
-	return t.rows[d][4*(i-1)+e].Bit(j)
-}
-
-// mwScratch holds the per-aligner temporaries of the multi-word path.
+// mwScratch holds the per-aligner working state of the multi-word path:
+// the full automaton rows the recurrence runs on (the stored table holds
+// only what the traceback may read, which in banded mode is narrower than
+// the recurrence needs) and the edge-mode temporaries.
 type mwScratch struct {
 	rowPrev, rowCur []bitvec.V
 	tM, tS, tD, tI  bitvec.V
-	mk              masksMW      // pattern masks, rebuilt in place per window
-	rows            [][]bitvec.V // stored table rows, reused across windows
-	table           [][]bitvec.V // backing rows, grown on demand
+	mk              masksMW // pattern masks, rebuilt in place per window
 }
 
 func (s *mwScratch) prepare(m, n int) {
@@ -137,40 +101,35 @@ func (s *mwScratch) prepare(m, n int) {
 	ensureV(&s.tI, m)
 }
 
-// tableRow hands out the reusable backing slice for table row d (the
-// multi-word twin of scratch64.tableRow). Every element is overwritten
-// by the caller's text loop, so stale vectors from the previous window
-// are never read.
-func (s *mwScratch) tableRow(d, n int) []bitvec.V {
-	for len(s.table) <= d {
-		//lint:allow hotalloc one-time scratch growth per new error depth, amortized to zero across windows
-		s.table = append(s.table, nil)
-	}
-	if cap(s.table[d]) < n {
-		s.table[d] = make([]bitvec.V, n)
-	}
-	return s.table[d][:n]
-}
-
 // alignWindowMW aligns the reversed window buffers of w at error budget k.
+// The masks in w.mw.mk must already be built for the current pattern.
 func (w *windowAligner) alignWindowMW(k int) (int, cigar.Cigar, int, bool, error) {
 	mk := &w.mw.mk
-	mk.buildInto(w.pRevBuf)
 	m, n := mk.m, len(w.tRevBuf)
 	cfg := w.cfg
-	t := &tableMW{
+	wpe := bitvec.Words(m)
+	t := &w.ts.tbl
+	*t = table{
 		m: m, n: n, k: k,
 		entries: !cfg.DisableSENE,
 		banded:  !cfg.DisableDENT,
-		rows:    w.mw.rows[:0],
+		wpe:     wpe,
+		rows:    w.ts.rows[:0],
 	}
 	entryBits := uint64(m)
-	wordsPerEntry := uint64(bitvec.Words(m))
-	t.storeBytes = 8 * wordsPerEntry
+	t.stride = wpe
+	t.storeBytes = 8 * uint64(wpe)
 	if t.banded {
 		t.bandB = 2*k + 3
 		entryBits = uint64(t.bandB)
 		t.storeBytes = uint64(t.bandB+7) / 8
+		if bw := (t.bandB + 63) / 64; bw < wpe {
+			t.packed = true
+			t.stride = bw
+		}
+	}
+	if !t.entries {
+		t.stride = 4 * wpe
 	}
 
 	w.mw.prepare(m, n)
@@ -179,52 +138,76 @@ func (w *windowAligner) alignWindowMW(k int) (int, cigar.Cigar, int, bool, error
 	solved := -1
 	for d := 0; d <= k; d++ {
 		mk.initRowInto(rowCur[0], d)
-		var drow []bitvec.V
+		drow := w.ts.tableRow(d, t.stride*n)
 		if t.entries {
-			drow = w.mw.tableRow(d, n)
-		} else {
-			drow = w.mw.tableRow(d, 4*n)
-		}
-		for i := 1; i <= n; i++ {
-			pmt := mk.pm[w.tRevBuf[i-1]]
-			w.mw.tM.Shl1(rowCur[i-1], 0)
-			w.mw.tM.Or(w.mw.tM, pmt)
-			if d == 0 {
-				rowCur[i].Copy(w.mw.tM)
-			} else {
-				w.mw.tS.Shl1(rowPrev[i-1], 0)
-				w.mw.tD.Shl1(rowPrev[i], 0)
-				w.mw.tI.Copy(rowPrev[i-1])
-				rowCur[i].And4(w.mw.tM, w.mw.tS, w.mw.tD, w.mw.tI)
-			}
-			if t.entries {
-				ensureV(&drow[i-1], m)
-				drow[i-1].Copy(rowCur[i])
-				if t.banded {
-					w.counters.AddWrite(1, t.storeBytes)
-				} else {
-					w.counters.AddWrite(wordsPerEntry, 8)
-				}
-				w.counters.AddFootprint(entryBits)
-			} else {
-				e := drow[4*(i-1):]
-				ensureV(&e[edgeM], m)
-				e[edgeM].Copy(w.mw.tM)
-				for _, idx := range [3]int{edgeS, edgeD, edgeI} {
-					ensureV(&e[idx], m)
-				}
+			// Fused kernel: one pass over the words per text position
+			// computes M & S & D & I with the shift carries propagated
+			// in registers, instead of four temporary-vector passes.
+			for i := 1; i <= n; i++ {
+				pmw := mk.pm[w.tRevBuf[i-1]].W
+				prevW := rowCur[i-1].W
+				curW := rowCur[i].W
 				if d == 0 {
-					e[edgeS].Fill(true)
-					e[edgeD].Fill(true)
-					e[edgeI].Fill(true)
+					var cp uint64
+					for wi := range curW {
+						pw := prevW[wi]
+						curW[wi] = (pw<<1 | cp) | pmw[wi]
+						cp = pw >> 63
+					}
 				} else {
-					e[edgeS].Copy(w.mw.tS)
-					e[edgeD].Copy(w.mw.tD)
-					e[edgeI].Copy(w.mw.tI)
+					upW := rowPrev[i-1].W
+					urW := rowPrev[i].W
+					var cp, cu, cr uint64
+					for wi := range curW {
+						pw, uw, rw := prevW[wi], upW[wi], urW[wi]
+						curW[wi] = ((pw<<1 | cp) | pmw[wi]) & (uw<<1 | cu) & (rw<<1 | cr) & uw
+						cp, cu, cr = pw>>63, uw>>63, rw>>63
+					}
 				}
-				w.counters.AddWrite(4*wordsPerEntry, 8)
-				w.counters.AddFootprint(4 * uint64(m))
+				rowCur[i].Normalize()
+				dst := drow[(i-1)*t.stride : i*t.stride]
+				if t.packed {
+					lo := t.bandLo(i)
+					for b := range dst {
+						dst[b] = extract64(curW, lo+64*b, m)
+					}
+				} else {
+					copy(dst, curW)
+				}
 			}
+			if t.banded {
+				w.counters.AddWrite(uint64(n), t.storeBytes)
+			} else {
+				w.counters.AddWrite(uint64(n*wpe), 8)
+			}
+			w.counters.AddFootprint(uint64(n) * entryBits)
+		} else {
+			for i := 1; i <= n; i++ {
+				pmt := mk.pm[w.tRevBuf[i-1]]
+				w.mw.tM.Shl1(rowCur[i-1], 0)
+				w.mw.tM.Or(w.mw.tM, pmt)
+				if d == 0 {
+					rowCur[i].Copy(w.mw.tM)
+				} else {
+					w.mw.tS.Shl1(rowPrev[i-1], 0)
+					w.mw.tD.Shl1(rowPrev[i], 0)
+					w.mw.tI.Copy(rowPrev[i-1])
+					rowCur[i].And4(w.mw.tM, w.mw.tS, w.mw.tD, w.mw.tI)
+				}
+				e := drow[4*(i-1)*wpe : (4*(i-1)+4)*wpe]
+				copy(e[edgeM*wpe:(edgeM+1)*wpe], w.mw.tM.W)
+				if d == 0 {
+					for x := wpe; x < 4*wpe; x++ {
+						e[x] = ^uint64(0)
+					}
+				} else {
+					copy(e[edgeS*wpe:(edgeS+1)*wpe], w.mw.tS.W)
+					copy(e[edgeD*wpe:(edgeD+1)*wpe], w.mw.tD.W)
+					copy(e[edgeI*wpe:(edgeI+1)*wpe], w.mw.tI.W)
+				}
+			}
+			w.counters.AddWrite(uint64(4*n*wpe), 8)
+			w.counters.AddFootprint(uint64(n) * 4 * uint64(m))
 		}
 		//lint:allow hotalloc appends into the scratch-backed rows slice; amortized to zero across windows
 		t.rows = append(t.rows, drow)
@@ -232,14 +215,14 @@ func (w *windowAligner) alignWindowMW(k int) (int, cigar.Cigar, int, bool, error
 			solved = d
 			if !cfg.DisableET {
 				w.counters.AddRows(uint64(d+1), uint64(k-d))
-				w.mw.rows = t.rows
+				w.ts.rows = t.rows
 				cg, used, err := w.tracebackMW(t, mk, d)
 				return d, cg, used, true, err
 			}
 		}
 		rowPrev, rowCur = rowCur, rowPrev
 	}
-	w.mw.rows = t.rows
+	w.ts.rows = t.rows
 	w.counters.AddRows(uint64(len(t.rows)), 0)
 	if solved < 0 {
 		return 0, nil, 0, false, nil
@@ -248,52 +231,58 @@ func (w *windowAligner) alignWindowMW(k int) (int, cigar.Cigar, int, bool, error
 	return solved, cg, used, true, err
 }
 
-func (w *windowAligner) tracebackMW(t *tableMW, mk *masksMW, dStar int) (cigar.Cigar, int, error) {
-	var cg cigar.Cigar
+func (w *windowAligner) tracebackMW(t *table, mk *masksMW, dStar int) (cigar.Cigar, int, error) {
+	cg := make(cigar.Cigar, 0, 2*dStar+2)
 	i, j, d := t.n, t.m-1, dStar
+	c := w.counters
 	for j >= 0 {
 		if t.entries {
-			if i >= 1 && mk.pm[w.tRevBuf[i-1]].Bit(j) == 0 && t.entryBit(d, i-1, j-1, w) == 0 {
-				cg = cg.Append(cigar.Match, 1)
+			if i >= 1 && mk.pm[w.tRevBuf[i-1]].Bit(j) == 0 && t.entryBit(d, i-1, j-1, c) == 0 {
+				run := 1
 				i, j = i-1, j-1
+				for i >= 1 && j >= 0 && mk.pm[w.tRevBuf[i-1]].Bit(j) == 0 && t.entryBit(d, i-1, j-1, c) == 0 {
+					run++
+					i, j = i-1, j-1
+				}
+				cg = cg.Append(cigar.Match, run)
 				continue
 			}
 			if d >= 1 {
-				if i >= 1 && t.entryBit(d-1, i-1, j-1, w) == 0 {
+				if i >= 1 && t.entryBit(d-1, i-1, j-1, c) == 0 {
 					cg = cg.Append(cigar.Mismatch, 1)
 					i, j, d = i-1, j-1, d-1
 					continue
 				}
-				if t.entryBit(d-1, i, j-1, w) == 0 {
+				if t.entryBit(d-1, i, j-1, c) == 0 {
 					cg = cg.Append(cigar.Ins, 1)
 					j, d = j-1, d-1
 					continue
 				}
-				if i >= 1 && t.entryBit(d-1, i-1, j, w) == 0 {
+				if i >= 1 && t.entryBit(d-1, i-1, j, c) == 0 {
 					cg = cg.Append(cigar.Del, 1)
 					i, d = i-1, d-1
 					continue
 				}
 			}
 		} else {
-			if i >= 1 && t.edgeBit(edgeM, d, i, j, w) == 0 {
+			if i >= 1 && t.edgeBit(edgeM, d, i, j, c) == 0 {
 				cg = cg.Append(cigar.Match, 1)
 				i, j = i-1, j-1
 				continue
 			}
 			if d >= 1 {
 				if i >= 1 {
-					if t.edgeBit(edgeS, d, i, j, w) == 0 {
+					if t.edgeBit(edgeS, d, i, j, c) == 0 {
 						cg = cg.Append(cigar.Mismatch, 1)
 						i, j, d = i-1, j-1, d-1
 						continue
 					}
-					if t.edgeBit(edgeD, d, i, j, w) == 0 {
+					if t.edgeBit(edgeD, d, i, j, c) == 0 {
 						cg = cg.Append(cigar.Ins, 1)
 						j, d = j-1, d-1
 						continue
 					}
-					if t.edgeBit(edgeI, d, i, j, w) == 0 {
+					if t.edgeBit(edgeI, d, i, j, c) == 0 {
 						cg = cg.Append(cigar.Del, 1)
 						i, d = i-1, d-1
 						continue

@@ -57,22 +57,27 @@ func TestQuickTracebackCostEqualsDistance(t *testing.T) {
 	}
 }
 
-// TestQuickBandExtractModel: bandExtract agrees with a bit-by-bit model
-// for arbitrary words, offsets and pattern lengths.
-func TestQuickBandExtractModel(t *testing.T) {
-	f := func(r uint64, loRaw int8, mRaw uint8) bool {
-		m := 1 + int(mRaw)%64
-		lo := int(loRaw)
-		full := r
-		if m < 64 {
-			full |= ^uint64(0) << uint(m) // bits above the pattern read inactive
+// TestQuickExtract64Model: extract64 agrees with a bit-by-bit model for
+// arbitrary multi-word states, offsets and pattern lengths.
+func TestQuickExtract64Model(t *testing.T) {
+	f := func(r0, r1, r2 uint64, loRaw int16, mRaw uint8) bool {
+		m := 1 + int(mRaw)%192
+		lo := int(loRaw) % 256
+		words := make([]uint64, (m+63)/64)
+		for wi, r := range []uint64{r0, r1, r2} {
+			if wi < len(words) {
+				words[wi] = r
+			}
 		}
-		w := bandExtract(full, lo, m)
+		if rem := uint(m % 64); rem != 0 {
+			words[len(words)-1] &= (uint64(1) << rem) - 1 // normalized form
+		}
+		w := extract64(words, lo, m)
 		for b := 0; b < 64; b++ {
 			j := lo + b
 			want := uint64(1)
 			if j >= 0 && j < m {
-				want = full >> uint(j) & 1
+				want = words[j/64] >> uint(j%64) & 1
 			}
 			if w>>uint(b)&1 != want {
 				return false

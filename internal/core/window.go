@@ -22,10 +22,11 @@ type WindowResult struct {
 }
 
 // windowAligner aligns single windows with retry-on-budget-exceeded. It owns
-// reusable scratch and is not safe for concurrent use.
+// reusable scratch — the stored-table buffers in ts are shared by the
+// single-word and multi-word kernels — and is not safe for concurrent use.
 type windowAligner struct {
 	cfg      Config
-	scratch  scratch64
+	ts       tableScratch
 	mw       mwScratch
 	pRevBuf  []byte
 	tRevBuf  []byte
@@ -44,6 +45,16 @@ func (w *windowAligner) alignWindow(p, t []byte) (WindowResult, error) {
 	w.pRevBuf = reverseInto(w.pRevBuf[:0], p)
 	w.tRevBuf = reverseInto(w.tRevBuf[:0], t)
 
+	// The pattern masks depend only on the window, not the error budget,
+	// so they are built once and survive budget-doubling retries.
+	single := m <= 64
+	var mk64 masks64
+	if single {
+		mk64 = buildMasks64(w.pRevBuf)
+	} else {
+		w.mw.mk.buildInto(w.pRevBuf)
+	}
+
 	k := w.cfg.InitialK
 	if k > m {
 		k = m
@@ -56,12 +67,11 @@ func (w *windowAligner) alignWindow(p, t []byte) (WindowResult, error) {
 			ok   bool
 			err  error
 		)
-		if m <= 64 {
-			mk := buildMasks64(w.pRevBuf)
-			var tbl *table64
-			tbl, d, ok = dc64(&mk, w.tRevBuf, k, w.cfg, &w.scratch, w.counters)
+		if single {
+			var tbl *table
+			tbl, d, ok = dc64(&mk64, w.tRevBuf, k, w.cfg, &w.ts, w.counters)
 			if ok {
-				cg, used, err = traceback64(tbl, &mk, w.tRevBuf, d, w.counters)
+				cg, used, err = traceback64(tbl, &mk64, w.tRevBuf, d, w.counters)
 			}
 		} else {
 			d, cg, used, ok, err = w.alignWindowMW(k)

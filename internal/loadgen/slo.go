@@ -152,7 +152,11 @@ func WriteBench(path string, rep Report) error {
 			return fmt.Errorf("loadgen: existing %s is not JSON: %w", path, err)
 		}
 	}
-	doc["schema"] = 3
+	// Keep a newer schema stamped by the caller; only raise older docs to
+	// the version that introduced the serving section.
+	if v, ok := doc["schema"].(float64); !ok || v < 3 {
+		doc["schema"] = 3
+	}
 	if _, ok := doc["go"]; !ok {
 		doc["go"] = runtime.Version()
 	}
